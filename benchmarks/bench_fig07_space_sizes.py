@@ -1,0 +1,15 @@
+"""Figure 7: input-centric schedule-space sizes for ResNet-50 convolutions."""
+import numpy as np
+
+from common import write_result
+from repro.experiments import format_space_sizes, run_space_sizes
+
+
+def bench_fig07_space_sizes(benchmark):
+    rows = benchmark.pedantic(run_space_sizes, rounds=1, iterations=1)
+    per_layer = [r.autotvm_size for r in rows for _ in range(r.workload.count)]
+    geomean = float(np.exp(np.mean(np.log(per_layer))))
+    assert len(per_layer) == 53                 # one bar per ResNet-50 conv layer
+    assert 1e6 < geomean < 2e7                  # paper: 3.6e6
+    assert max(per_layer) > 1e7                 # paper: up to ~1e8
+    write_result('fig07_space_sizes', format_space_sizes(rows))

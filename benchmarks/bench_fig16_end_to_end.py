@@ -1,0 +1,23 @@
+"""Figure 16: end-to-end latency, 5 models × 5 executors."""
+from common import write_result
+from repro.experiments import format_end_to_end, run_end_to_end
+from repro.experiments.common import geomean
+
+
+def bench_fig16_end_to_end(benchmark):
+    rows = benchmark.pedantic(run_end_to_end, rounds=1, iterations=1)
+    by_model = {r.model: r for r in rows}
+
+    # paper shape: Hidet wins every model except MobileNetV2 (Ansor's
+    # depthwise sketch), average speedup ~1.2x, maximum ~1.5x
+    for model, row in by_model.items():
+        if model == 'mobilenet_v2':
+            assert row.speedup_vs_best_baseline < 1.0
+            assert row.latencies_ms['ansor'] < row.latencies_ms['hidet']
+        else:
+            assert row.speedup_vs_best_baseline > 1.0, model
+    mean_speedup = geomean([r.speedup_vs_best_baseline for r in rows])
+    assert 1.05 < mean_speedup < 1.6            # paper: 1.26x geomean
+    # AutoTVM's weak transformer templates (paper: 27 ms / 41 ms)
+    assert by_model['bert'].latencies_ms['autotvm'] > 2 * by_model['bert'].latencies_ms['hidet']
+    write_result('fig16_end_to_end', format_end_to_end(rows))

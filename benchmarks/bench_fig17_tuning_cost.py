@@ -1,0 +1,19 @@
+"""Figure 17: tuning cost of AutoTVM, Ansor and Hidet."""
+from common import write_result
+from repro.experiments import format_tuning_cost, run_tuning_cost
+from repro.experiments.tuning_cost import speedups
+
+
+def bench_fig17_tuning_cost(benchmark):
+    rows = benchmark.pedantic(run_tuning_cost, rounds=1, iterations=1)
+    ratio = speedups(rows)
+    # paper: 20x vs AutoTVM, 11x vs Ansor (geomean over the five models)
+    assert ratio['autotvm'] > 8
+    assert ratio['ansor'] > 5
+    by_model = {r.model: r.hours for r in rows}
+    # CNN tuning takes hours for the baselines, minutes for Hidet
+    assert by_model['resnet50']['autotvm'] > 4
+    assert by_model['resnet50']['hidet'] < 1
+    # AutoTVM's transformer template spaces are tiny (minutes, paper: 2m)
+    assert by_model['bert']['autotvm'] < 0.2
+    write_result('fig17_tuning_cost', format_tuning_cost(rows))

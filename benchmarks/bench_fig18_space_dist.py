@@ -1,0 +1,18 @@
+"""Figure 18: schedule-latency distribution of the three schedule spaces."""
+import numpy as np
+
+from common import write_result
+from repro.experiments import format_schedule_distribution, run_schedule_distribution
+
+
+def bench_fig18_space_dist(benchmark):
+    result = benchmark.pedantic(run_schedule_distribution, rounds=1, iterations=1)
+    summary = result.summary(threshold_us=73.0)
+    # paper: most schedules in Hidet's space beat 73 us; the loop-oriented
+    # samples are mostly slower with a long tail
+    assert summary['hidet_below'] > 0.5
+    assert summary['autotvm_below'] < 0.3
+    assert summary['ansor_below'] < 0.4
+    finite_at = [l for l in result.autotvm_latencies_us if np.isfinite(l)]
+    assert np.percentile(finite_at, 90) > 2 * np.median(result.hidet_latencies_us)
+    write_result('fig18_space_dist', format_schedule_distribution(result))

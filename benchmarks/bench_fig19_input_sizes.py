@@ -1,0 +1,20 @@
+"""Figure 19: matmul on consecutive input sizes; prime sizes break the
+input-centric tuners while Hidet stays flat."""
+import math
+
+from common import write_result
+from repro.experiments import format_input_sensitivity, run_input_sensitivity
+
+
+def bench_fig19_input_sizes(benchmark):
+    rows = benchmark.pedantic(run_input_sensitivity, rounds=1, iterations=1)
+    by_size = {r.size: r for r in rows}
+    # paper: both baselines fail on the prime 2039; Hidet is consistent
+    assert not math.isfinite(by_size[2039].autotvm_ms)
+    assert not math.isfinite(by_size[2039].ansor_ms)
+    hidet = [r.hidet_ms for r in rows]
+    assert max(hidet) / min(hidet) < 1.1
+    # baseline latencies fluctuate strongly with the divisor structure
+    finite_ansor = [r.ansor_ms for r in rows if math.isfinite(r.ansor_ms)]
+    assert max(finite_ansor) / min(finite_ansor) > 2.0
+    write_result('fig19_input_sizes', format_input_sensitivity(rows))

@@ -1,0 +1,20 @@
+"""Figure 20: ResNet-50 across batch sizes 1/4/8."""
+from common import write_result
+from repro.experiments import format_batch_sizes, run_batch_sizes
+
+
+def bench_fig20_batch_sizes(benchmark):
+    from repro.experiments.batch_sizes import library_gap_ratios
+    rows = benchmark.pedantic(run_batch_sizes, rounds=1, iterations=1)
+    for row in rows:
+        # paper: Hidet is fastest at every batch size
+        assert min(row.latencies_ms, key=row.latencies_ms.get) == 'hidet'
+    # paper: the library wins back against the loop-oriented tuners as the
+    # batch grows (they cannot double-buffer; cuDNN adds Winograd) — the
+    # ORT/tuner ratio must shrink from batch 1 to batch 8
+    ratios = library_gap_ratios(rows)
+    assert ratios[-1] < ratios[0]
+    # and the tuners do beat the library at batch 1 (left side of the story)
+    first = rows[0].latencies_ms
+    assert min(first['autotvm'], first['ansor']) < first['onnxruntime']
+    write_result('fig20_batch_sizes', format_batch_sizes(rows))

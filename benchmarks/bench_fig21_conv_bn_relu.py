@@ -1,0 +1,11 @@
+"""Figure 21: Conv2d-BN-ReLU sub-graphs of ResNet-50 across executors."""
+from common import write_result
+from repro.experiments import format_conv_bn_relu, run_conv_bn_relu
+
+
+def bench_fig21_conv_bn_relu(benchmark):
+    rows = benchmark.pedantic(run_conv_bn_relu, rounds=1, iterations=1)
+    wins = sum(r.winner == 'hidet' for r in rows)
+    # paper: Hidet outperforms ORT and Ansor on most convolutions
+    assert wins > len(rows) / 2
+    write_result('fig21_conv_bn_relu', format_conv_bn_relu(rows))

@@ -1,0 +1,14 @@
+"""Figure 22: TensorRT vs Hidet on the five models."""
+from common import write_result
+from repro.experiments import format_tensorrt_cmp, run_tensorrt_cmp
+
+
+def bench_fig22_tensorrt(benchmark):
+    rows = benchmark.pedantic(run_tensorrt_cmp, rounds=1, iterations=1)
+    by_model = {r.model: r for r in rows}
+    # paper: Hidet wins the CNNs, TensorRT wins the transformers
+    for cnn in ('resnet50', 'inception_v3'):
+        assert by_model[cnn].winner == 'hidet'
+    for transformer in ('bert', 'gpt2'):
+        assert by_model[transformer].winner == 'tensorrt'
+    write_result('fig22_tensorrt', format_tensorrt_cmp(rows))

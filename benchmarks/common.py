@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness: result capture to files."""
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), 'results')
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f'{name}.txt'), 'w') as f:
+        f.write(text + '\n')
+    print()
+    print(text)

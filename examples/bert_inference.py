@@ -1,0 +1,44 @@
+"""Compile Bert-base (seq 128) and compare executors (paper Figures 16/22).
+
+Highlights the transformer-specific behaviours the paper reports: AutoTVM's
+weak dense/batch-matmul templates, Ansor's competitive schedules, and
+TensorRT's fused attention.
+
+Run:  python examples/bert_inference.py
+"""
+import numpy as np
+
+from repro.baselines import Ansor, AutoTVM, OnnxRuntimeLike, TensorRTLike
+from repro.models import bert_base
+from repro.runtime import optimize
+
+
+def main():
+    print('building Bert-base (12 layers, hidden 768, seq 128)...')
+    graph = bert_base(seq_length=128)
+    print(f'  {graph.num_operators} operators')
+
+    print('\ncompiling with Hidet...')
+    compiled = optimize(graph)
+    print(f'  latency {compiled.latency_ms:.3f} ms, tuning '
+          f'{compiled.tuning_seconds / 60:.1f} min (paper: 2.46 ms, ~5 min)')
+
+    print('\nbaselines:')
+    for executor in (OnnxRuntimeLike(), AutoTVM(), Ansor(), TensorRTLike()):
+        report = executor.compile(graph)
+        tuning = f', tuned {report.tuning_hours * 60:.0f} min' if report.tuning_seconds else ''
+        print(f'  {report.executor:14s} {report.latency_ms:7.3f} ms{tuning}')
+    print('\n(paper: AutoTVM degrades badly on transformers; TensorRT wins via '
+          'fused attention; Hidet beats ORT/Ansor)')
+
+    print('\nfunctional check on a tiny Bert (1 layer, hidden 32)...')
+    tiny = bert_base(seq_length=16, hidden=32, layers=1, heads=4, vocab_size=100)
+    compiled_tiny = optimize(tiny)
+    ids = np.arange(16, dtype=np.int32) % 100
+    reference = tiny.run(ids)[0]
+    got = compiled_tiny.run(ids)[0]
+    print(f'  max |difference| = {np.abs(reference - got).max():.2e}')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,66 @@
+"""Define a new operator from its computation and get fusion for free (§5.2).
+
+The paper's pitch: developers write *one* computation definition; rule-based
+scheduling generates the kernel, and post-scheduling fusion folds injective
+neighbours in.  Here we build the paper's Figure 15 pipeline —
+``Mul(2.0) -> Reverse -> Mul(3.0) -> Reshape(2, 50)`` — let the compiler fuse
+it into a single kernel, and print the generated CUDA, which matches the
+fused program in the figure.
+
+Run:  python examples/custom_operator_fusion.py
+"""
+import numpy as np
+
+from repro.backend.codegen import generate_cuda_module
+from repro.graph import Tensor, ops, symbol, trace
+from repro.graph.operator import Operator
+from repro.ir.compute import compute, tensor_input
+from repro.ir.task import Task
+from repro.runtime import HidetExecutor
+
+
+class ReverseOp(Operator):
+    """out[i] = x[n-1-i] — a custom injective operator in ~10 lines."""
+
+    def __init__(self, x: Tensor):
+        super().__init__([x], name='reverse')
+
+    def infer_output(self):
+        return self.inputs[0].shape, self.inputs[0].dtype
+
+    def make_task(self) -> Task:
+        x = self.inputs[0]
+        n = x.shape[0]
+        tx = tensor_input(x.name, x.dtype, x.shape)
+        out = compute('reversed', [n], lambda i: tx[n - 1 - i])
+        return Task(self.name, [tx], out)
+
+    def run_numpy(self, x: np.ndarray) -> np.ndarray:
+        return x[::-1].copy()
+
+
+def main():
+    n = 100
+    c = symbol([n], name='C')
+    reversed_ = ReverseOp(c * 2.0).output          # prologue: Mul(2.0)
+    d = ops.reshape(reversed_ * 3.0, [2, 50])      # epilogues: Mul(3.0), Reshape
+    graph = trace(d, name='figure15')
+    print(graph)
+
+    executor = HidetExecutor(build_ir=True)
+    compiled = executor.compile(graph)
+    print(f'\nfused into {len(compiled.ops)} kernel(s) '
+          f'(the whole pipeline is one kernel)')
+
+    print('\n--- generated CUDA (compare with paper Figure 15) ---')
+    print(generate_cuda_module(compiled.ops[0].module))
+
+    x = np.arange(n, dtype=np.float32)
+    got = compiled.run(x)[0]
+    expected = ((x * 2.0)[::-1] * 3.0).reshape(2, 50)
+    assert np.allclose(got, expected)
+    print('functional check: OK')
+
+
+if __name__ == '__main__':
+    main()

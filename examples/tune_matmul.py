@@ -1,0 +1,34 @@
+"""Hardware-centric tuning of matrix multiplication (paper §4.3, Figure 19).
+
+Enumerates the full ~165-schedule space for several problem sizes — including
+the prime 2039 on which AutoTVM and Ansor cannot even construct a schedule —
+and prints what the tuner picked and why.
+
+Run:  python examples/tune_matmul.py
+"""
+from repro.baselines import AutoTVM
+from repro.core.tuning import MatmulTuner
+from repro.gpusim import RTX3090
+
+
+def main():
+    tuner = MatmulTuner(RTX3090)
+    print(f'{"size":>18s} {"best schedule":>28s} {"latency":>10s} {"candidates":>11s}')
+    for (m, n, k) in [(1024, 1024, 1024), (2048, 2048, 2048),
+                      (2039, 2039, 2039),             # prime (Figure 19)
+                      (128, 3072, 768),               # transformer FFN
+                      (196, 512, 4608)]:              # conv as implicit GEMM
+        result = tuner.tune(m, n, k)
+        print(f'{m:>6d}x{n:<5d}x{k:<5d} {result.best_schedule.short_repr():>28s} '
+              f'{result.best_latency * 1e6:8.1f}us {result.num_candidates:11d}')
+    print(f'\ntotal simulated tuning time: {tuner.clock.elapsed_seconds / 60:.1f} '
+          f'minutes (paper: matmul tunes "within one minute" per shape)')
+
+    print('\nAutoTVM on the prime size 2039:')
+    report = AutoTVM().tune_contraction(2039, 2039, 2039, kind='conv', name='prime')
+    print(f'  valid schedules found: {report.num_measured} -> '
+          f'{"FAILED" if report.failed else "ok"} (paper: fails)')
+
+
+if __name__ == '__main__':
+    main()

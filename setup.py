@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The execution environment is offline with an old setuptools and no ``wheel``
+package, so PEP-517 editable installs fail with "invalid command
+'bdist_wheel'".  This shim lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path.
+"""
+from setuptools import setup, find_packages
+
+setup(
+    name='repro',
+    version='0.1.0',
+    package_dir={'': 'src'},
+    packages=find_packages(where='src'),
+    python_requires='>=3.10',
+    install_requires=['numpy'],
+)

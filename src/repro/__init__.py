@@ -1,0 +1,19 @@
+"""repro — a reproduction of Hidet: Task-Mapping Programming Paradigm for
+Deep Learning Tensor Programs (ASPLOS 2023).
+
+Public API highlights:
+
+* ``repro.core``: task mappings (``repeat``, ``spatial``, composition).
+* ``repro.ir``: the tensor-program IR and ``FunctionBuilder``.
+* ``repro.graph``: computation graphs, operators, and ``trace`` helpers.
+* ``repro.models``: ResNet-50 / Inception-V3 / MobileNet-V2 / Bert / GPT-2.
+* ``repro.runtime``: the end-to-end compile pipeline (``optimize``).
+* ``repro.baselines``: loop-oriented scheduling, AutoTVM/Ansor-like tuners,
+  kernel-library and framework executors used in the paper's evaluation.
+"""
+__version__ = '0.1.0'
+
+from .core import repeat, spatial, column_repeat, column_spatial, auto_map, TaskMapping
+
+__all__ = ['repeat', 'spatial', 'column_repeat', 'column_spatial', 'auto_map',
+           'TaskMapping', '__version__']

@@ -1,0 +1,17 @@
+"""Baseline systems of the paper's evaluation (§6.2): frameworks, loop-oriented
+tuners, the vendor kernel library, and TensorRT."""
+from .base import ExecutorReport
+from .kernel_library import KernelLibrary
+from .frameworks import PyTorchLike, OnnxRuntimeLike, LibraryBackedExecutor
+from .loop_tuner import LoopOrientedTuner, TaskTuningResult
+from .autotvm import AutoTVM
+from .ansor import Ansor
+from .tensorrt import TensorRTLike
+from .tiling import (TileConfig, divisors, factor_splits_count, iter_tile_configs,
+                     tiled_matmul_stats, contraction_dims_of_conv)
+
+__all__ = ['ExecutorReport', 'KernelLibrary', 'PyTorchLike', 'OnnxRuntimeLike',
+           'LibraryBackedExecutor', 'LoopOrientedTuner', 'TaskTuningResult',
+           'AutoTVM', 'Ansor', 'TensorRTLike',
+           'TileConfig', 'divisors', 'factor_splits_count', 'iter_tile_configs',
+           'tiled_matmul_stats', 'contraction_dims_of_conv']

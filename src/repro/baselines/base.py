@@ -1,0 +1,32 @@
+"""Common result type for all executors (Hidet and baselines)."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ['ExecutorReport']
+
+
+@dataclass
+class ExecutorReport:
+    """What every executor reports for one model (the rows of Figures 16-22)."""
+
+    executor: str
+    model: str
+    latency: float                    # end-to-end seconds
+    tuning_seconds: float = 0.0
+    num_kernels: int = 0
+    failed: bool = False              # e.g. AutoTVM/Ansor on prime sizes (Fig 19)
+    note: str = ''
+    kernel_latencies: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency * 1e3
+
+    @property
+    def tuning_hours(self) -> float:
+        return self.tuning_seconds / 3600.0
+
+    def row(self) -> str:
+        lat = 'Failed' if self.failed else f'{self.latency_ms:.3f}'
+        return f'{self.model:16s} {self.executor:14s} {lat:>10s} ms'

@@ -1,0 +1,10 @@
+"""The paper's primary contribution: task mappings, layouts, schedules, spaces."""
+from .taskmap import (TaskMapping, RepeatTaskMapping, SpatialTaskMapping,
+                      ComposedTaskMapping, CustomTaskMapping,
+                      repeat, spatial, column_repeat, column_spatial, auto_map)
+
+__all__ = [
+    'TaskMapping', 'RepeatTaskMapping', 'SpatialTaskMapping',
+    'ComposedTaskMapping', 'CustomTaskMapping',
+    'repeat', 'spatial', 'column_repeat', 'column_spatial', 'auto_map',
+]

@@ -1,0 +1,39 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+| module             | reproduces |
+|--------------------|------------|
+| space_size         | Figure 7   |
+| end_to_end         | Figure 16  |
+| tuning_cost        | Figure 17  |
+| schedule_dist      | Figure 18  |
+| input_sensitivity  | Figure 19  |
+| batch_sizes        | Figure 20  |
+| conv_bn_relu       | Figure 21  |
+| tensorrt_cmp       | Figure 22  |
+| ablations          | extra ablation studies |
+
+Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
+"""
+from .common import EXECUTOR_ORDER, all_reports, geomean, hidet_report, run_executor
+from .end_to_end import run_end_to_end, format_end_to_end
+from .tuning_cost import run_tuning_cost, format_tuning_cost
+from .space_size import run_space_sizes, format_space_sizes
+from .schedule_dist import run_schedule_distribution, format_schedule_distribution
+from .input_sensitivity import run_input_sensitivity, format_input_sensitivity
+from .batch_sizes import run_batch_sizes, format_batch_sizes
+from .conv_bn_relu import run_conv_bn_relu, format_conv_bn_relu
+from .tensorrt_cmp import run_tensorrt_cmp, format_tensorrt_cmp
+from . import ablations
+
+__all__ = [
+    'EXECUTOR_ORDER', 'all_reports', 'geomean', 'hidet_report', 'run_executor',
+    'run_end_to_end', 'format_end_to_end',
+    'run_tuning_cost', 'format_tuning_cost',
+    'run_space_sizes', 'format_space_sizes',
+    'run_schedule_distribution', 'format_schedule_distribution',
+    'run_input_sensitivity', 'format_input_sensitivity',
+    'run_batch_sizes', 'format_batch_sizes',
+    'run_conv_bn_relu', 'format_conv_bn_relu',
+    'run_tensorrt_cmp', 'format_tensorrt_cmp',
+    'ablations',
+]

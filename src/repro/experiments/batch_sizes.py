@@ -1,0 +1,64 @@
+"""Figure 20: ResNet-50 latency at batch sizes 1, 4, and 8.
+
+Paper result: at small batches AutoTVM/Ansor beat ONNX Runtime (enough thread
+blocks to fill the SMs), but at batch 8 the library kernels win back (the
+schedulers cannot express double buffering, so their per-block latency is
+worse once the GPU is saturated).  Hidet wins at every batch size: enough
+*and* efficient thread blocks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import EXECUTOR_ORDER, all_reports
+from ..models import resnet50
+
+__all__ = ['run_batch_sizes', 'format_batch_sizes', 'BATCH_SIZES']
+
+BATCH_SIZES = (1, 4, 8)
+
+
+@dataclass
+class BatchRow:
+    batch_size: int
+    latencies_ms: dict[str, float]
+
+
+def run_batch_sizes(batch_sizes=BATCH_SIZES) -> list[BatchRow]:
+    rows = []
+    for bs in batch_sizes:
+        graph = resnet50(batch_size=bs)
+        reports = all_reports(graph)
+        rows.append(BatchRow(bs, {ex: reports[ex].latency_ms for ex in EXECUTOR_ORDER}))
+    return rows
+
+
+def library_gap_ratios(rows: list[BatchRow]) -> list[float]:
+    """ORT latency relative to the best loop-oriented tuner, per batch size.
+
+    The paper's crossover story: this ratio shrinks as batch size grows (the
+    library's hand-tuned kernels win back once the GPU is saturated).
+    """
+    ratios = []
+    for row in rows:
+        best_tuner = min(row.latencies_ms['autotvm'], row.latencies_ms['ansor'])
+        ratios.append(row.latencies_ms['onnxruntime'] / best_tuner)
+    return ratios
+
+
+def format_batch_sizes(rows: list[BatchRow]) -> str:
+    lines = ['Figure 20: ResNet-50 latency (ms) across batch sizes',
+             f'{"batch":>6s} ' + ' '.join(f'{ex:>12s}' for ex in EXECUTOR_ORDER)]
+    for row in rows:
+        cells = ' '.join(f'{row.latencies_ms[ex]:12.3f}' for ex in EXECUTOR_ORDER)
+        lines.append(f'{row.batch_size:6d} {cells}')
+    ratios = library_gap_ratios(rows)
+    lines.append('library (ORT) vs best loop-oriented tuner: '
+                 + ', '.join(f'b{r.batch_size}={ratio:.2f}x'
+                             for r, ratio in zip(rows, ratios))
+                 + '  (paper: ratio crosses below 1.0 at batch 8; our model '
+                   'reproduces the narrowing, see EXPERIMENTS.md)')
+    lines.append('hidet fastest at every batch size: '
+                 f'{all(min(r.latencies_ms, key=r.latencies_ms.get) == "hidet" for r in rows)}'
+                 ' (paper: True)')
+    return '\n'.join(lines)

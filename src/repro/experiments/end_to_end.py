@@ -1,0 +1,63 @@
+"""Figure 16: end-to-end inference latency of 5 models × 5 executors.
+
+Paper result: Hidet outperforms PyTorch, ONNX Runtime, AutoTVM and Ansor on
+most models by up to 1.48× (1.22× on average; 1.26× geomean against the best
+baseline per model); Ansor wins MobileNet-V2 (0.88×) thanks to its dedicated
+depthwise-convolution sketches.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import EXECUTOR_ORDER, MODEL_BUILDERS, all_reports, geomean
+
+__all__ = ['EndToEndRow', 'run_end_to_end', 'format_end_to_end']
+
+#: paper Figure 16 reference latencies in ms (read from the plot; used only
+#: for the paper-vs-measured table in EXPERIMENTS.md, never for computation)
+PAPER_REFERENCE_MS = {
+    'resnet50': {'pytorch': 3.15, 'onnxruntime': 1.92, 'autotvm': 1.75,
+                 'ansor': 1.49, 'hidet': 1.33},
+    'inception_v3': {'pytorch': 5.4, 'onnxruntime': 3.9, 'autotvm': 3.1,
+                     'ansor': 2.9, 'hidet': 1.9},
+    'mobilenet_v2': {'pytorch': 3.4, 'onnxruntime': 1.1, 'autotvm': 0.84,
+                     'ansor': 0.66, 'hidet': 0.75},
+    'bert': {'pytorch': 5.2, 'onnxruntime': 2.78, 'autotvm': 27.0,
+             'ansor': 3.6, 'hidet': 2.46},
+    'gpt2': {'pytorch': 6.0, 'onnxruntime': 4.1, 'autotvm': 41.0,
+             'ansor': 4.0, 'hidet': 3.4},
+}
+
+
+@dataclass
+class EndToEndRow:
+    model: str
+    latencies_ms: dict[str, float]     # executor -> ms
+    speedup_vs_best_baseline: float
+
+
+def run_end_to_end(models=None, batch_size: int = 1) -> list[EndToEndRow]:
+    models = models or list(MODEL_BUILDERS)
+    rows = []
+    for name in models:
+        builder = MODEL_BUILDERS[name]
+        graph = builder(batch_size) if name not in ('bert', 'gpt2') else builder()
+        reports = all_reports(graph)
+        latencies = {ex: reports[ex].latency_ms for ex in EXECUTOR_ORDER}
+        baselines = [latencies[ex] for ex in EXECUTOR_ORDER if ex != 'hidet']
+        speedup = min(baselines) / latencies['hidet']
+        rows.append(EndToEndRow(name, latencies, speedup))
+    return rows
+
+
+def format_end_to_end(rows: list[EndToEndRow]) -> str:
+    lines = ['Figure 16: end-to-end latency (ms), batch size 1',
+             f'{"model":14s} ' + ' '.join(f'{ex:>12s}' for ex in EXECUTOR_ORDER)
+             + f' {"hidet-speedup":>14s}']
+    for row in rows:
+        cells = ' '.join(f'{row.latencies_ms[ex]:12.3f}' for ex in EXECUTOR_ORDER)
+        lines.append(f'{row.model:14s} {cells} {row.speedup_vs_best_baseline:13.2f}x')
+    lines.append(f'{"geomean speedup vs best baseline":>40s}: '
+                 f'{geomean([r.speedup_vs_best_baseline for r in rows]):.2f}x '
+                 f'(paper: 1.26x; up to 1.48x)')
+    return '\n'.join(lines)

@@ -1,0 +1,47 @@
+"""Figure 22: TensorRT vs Hidet on the five models.
+
+Paper result: Hidet wins the three CNNs (per-input-size tuning + automatic
+fusion); TensorRT wins Bert and GPT-2 thanks to dedicated fused-attention
+kernels for self-attention layers.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import MODEL_BUILDERS, all_reports, geomean
+
+__all__ = ['run_tensorrt_cmp', 'format_tensorrt_cmp']
+
+
+@dataclass
+class TensorRTRow:
+    model: str
+    tensorrt_ms: float
+    hidet_ms: float
+
+    @property
+    def winner(self) -> str:
+        return 'hidet' if self.hidet_ms < self.tensorrt_ms else 'tensorrt'
+
+
+def run_tensorrt_cmp(models=None) -> list[TensorRTRow]:
+    models = models or list(MODEL_BUILDERS)
+    rows = []
+    for name in models:
+        graph = MODEL_BUILDERS[name]()
+        reports = all_reports(graph, executors=('tensorrt', 'hidet'))
+        rows.append(TensorRTRow(name, reports['tensorrt'].latency_ms,
+                                reports['hidet'].latency_ms))
+    return rows
+
+
+def format_tensorrt_cmp(rows: list[TensorRTRow]) -> str:
+    lines = ['Figure 22: TensorRT vs Hidet latency (ms)',
+             f'{"model":14s} {"tensorrt":>10s} {"hidet":>10s} {"winner":>10s}']
+    for row in rows:
+        lines.append(f'{row.model:14s} {row.tensorrt_ms:10.3f} '
+                     f'{row.hidet_ms:10.3f} {row.winner:>10s}')
+    lines.append(f'geomean tensorrt/hidet: '
+                 f'{geomean([r.tensorrt_ms / r.hidet_ms for r in rows]):.2f} '
+                 f'(paper: Hidet wins CNNs, TensorRT wins transformers)')
+    return '\n'.join(lines)

@@ -1,0 +1,128 @@
+"""Analytic kernel-latency model (the reproduction's GPU).
+
+The model combines the classic ingredients that drive the paper's results:
+
+1. **Occupancy-aware efficiency.**  A kernel reaches a fraction of peak
+   compute/bandwidth that grows with warp occupancy; per-thread ILP (large
+   register tiles) lowers the occupancy needed to hide latency (so big tiles
+   win until they kill occupancy — the central matmul trade-off).
+2. **Roofline terms.**  ``Tc = flops / (peak_flops·eff_c)``,
+   ``Tm = bytes / (peak_bw·eff_m·coalesce)``, plus a shared-memory term.
+3. **Pipeline overlap.**  ``T = max(Tc, Tm) + (1 − α)·min(Tc, Tm)``: with
+   single buffering (α≈0.15) loads and MMAs serialize at every tile
+   (Figure 3); double buffering (α≈0.9, Figure 5) overlaps them.  This is the
+   optimization loop-oriented scheduling cannot express (paper §3.1).
+4. **Wave quantization.**  Latency scales with ``ceil(waves)/waves`` where a
+   wave is one resident set of blocks across all SMs — few big blocks
+   under-fill the GPU (Figure 20's batch-size behaviour).
+5. **Fixed costs.**  Kernel launch overhead and a minimum block latency.
+
+Registers beyond the hardware budget trigger a spill penalty instead of a
+hard failure (mirroring ``nvcc`` behaviour with ``-maxrregcount``).
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec, RTX3090
+from .occupancy import compute_occupancy
+from .stats import KernelStats, LaunchStats
+
+__all__ = ['PerfModel', 'estimate_latency', 'ModelParams']
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Calibration constants of the latency model (documented in EXPERIMENTS.md)."""
+
+    base_compute_efficiency: float = 0.88   # fp32 FMA issue efficiency at full occupancy
+    base_memory_efficiency: float = 0.92    # achievable fraction of DRAM bandwidth
+    compute_occ_demand: float = 0.45        # occupancy needed for full compute rate at ILP=1
+    memory_occ_demand: float = 0.55         # occupancy needed to saturate DRAM at ILP=1
+    min_occ_demand: float = 0.08            # floor of the occupancy demand after ILP discount
+    spill_penalty_per_reg: float = 0.012    # compute slowdown per spilled register
+    min_block_latency: float = 1.2e-6       # seconds: smallest useful block execution
+    divergence_floor: float = 0.02          # efficiency floor
+
+
+class PerfModel:
+    """Latency estimator for a device; stateless apart from its constants."""
+
+    def __init__(self, device: DeviceSpec = RTX3090, params: ModelParams = ModelParams()):
+        self.device = device
+        self.params = params
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, stats: KernelStats) -> LaunchStats:
+        device, params = self.device, self.params
+
+        regs = min(stats.regs_per_thread, device.max_registers_per_thread)
+        spilled = max(0, stats.regs_per_thread - device.max_registers_per_thread)
+        occ = compute_occupancy(device, stats.threads_per_block,
+                                stats.smem_bytes_per_block, regs)
+        if not occ.viable:
+            raise ValueError(
+                f'kernel {stats.name!r} cannot launch: limited by {occ.limited_by} '
+                f'(threads={stats.threads_per_block}, smem={stats.smem_bytes_per_block}, '
+                f'regs={stats.regs_per_thread})')
+
+        # 1. actual concurrency: the grid may not fill the resource limit
+        concurrent_per_sm = min(occ.resident_blocks_per_sm,
+                                math.ceil(stats.grid_blocks / device.num_sms))
+        warps_per_block = math.ceil(stats.threads_per_block / device.warp_size)
+        occupancy = min(1.0, concurrent_per_sm * warps_per_block / device.max_warps_per_sm)
+
+        # 2. occupancy-driven efficiencies, discounted by per-thread ILP
+        ilp = max(1.0, stats.ilp)
+        c_demand = max(params.min_occ_demand, params.compute_occ_demand / math.sqrt(ilp))
+        m_demand = max(params.min_occ_demand, params.memory_occ_demand / math.sqrt(ilp))
+        eff_c = params.base_compute_efficiency * min(1.0, occupancy / c_demand)
+        eff_m = params.base_memory_efficiency * min(1.0, occupancy / m_demand)
+        if spilled:
+            eff_c /= (1.0 + params.spill_penalty_per_reg * spilled)
+        eff_c = max(params.divergence_floor, eff_c)
+        eff_m = max(params.divergence_floor, eff_m)
+
+        # 3. roofline terms (aggregate over the whole launch)
+        t_compute = stats.flops / (device.peak_flops * eff_c)
+        t_memory = stats.gmem_bytes / (device.peak_bandwidth * eff_m * stats.coalesce_factor)
+        t_smem = (stats.smem_traffic_bytes * stats.smem_conflict_factor
+                  / device.peak_shared_bandwidth)
+
+        # 4. pipeline overlap between DRAM traffic and compute
+        alpha = stats.overlap
+        t_body = max(t_compute, t_memory) + (1.0 - alpha) * min(t_compute, t_memory)
+        t_body = max(t_body, t_smem)
+
+        # 5. wave quantization: latency rounds up to whole waves of resident
+        #    blocks; a fractional wave also covers idle-SM underutilization
+        capacity = concurrent_per_sm * device.num_sms
+        waves = stats.grid_blocks / capacity
+        quant = math.ceil(waves) / waves
+        t_body *= quant
+
+        # 6. fixed costs
+        t_body = max(t_body, params.min_block_latency * math.ceil(waves))
+        latency = t_body + device.kernel_launch_overhead
+
+        return LaunchStats(
+            latency=latency,
+            compute_time=t_compute,
+            memory_time=t_memory,
+            smem_time=t_smem,
+            occupancy=occupancy,
+            resident_blocks_per_sm=concurrent_per_sm,
+            waves=waves,
+            limited_by=occ.limited_by,
+        )
+
+    def latency(self, stats: KernelStats) -> float:
+        """Seconds for one launch of the kernel."""
+        return self.estimate(stats).latency
+
+
+def estimate_latency(stats: KernelStats, device: DeviceSpec = RTX3090) -> float:
+    """Convenience one-shot latency estimate in seconds."""
+    return PerfModel(device).latency(stats)

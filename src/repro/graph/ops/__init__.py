@@ -1,0 +1,26 @@
+"""Operator zoo: every operator the evaluated models need."""
+from .arithmetic import (BinaryElementwiseOp, UnaryElementwiseOp, add, sub, mul, div,
+                         relu, relu6, clip, exp, sqrt, rsqrt, erf, tanh, sigmoid,
+                         gelu, negate, broadcast_shapes)
+from .matmul import MatmulOp, BatchMatmulOp, matmul, batch_matmul
+from .transforms import (ReshapeOp, TransposeOp, ConcatOp, PadOp,
+                         reshape, transpose, concat, pad, flatten)
+from .conv import Conv2dOp, Im2colOp, conv2d, conv2d_numpy
+from .pool import Pool2dOp, GlobalAvgPoolOp, max_pool2d, avg_pool2d, global_avg_pool
+from .reduce import ReduceLastAxisOp, reduce_sum, reduce_mean, reduce_max
+from .norms import softmax, layer_norm, batch_norm, batch_norm_inference_params
+from .embedding import EmbeddingOp, embedding
+
+__all__ = [
+    'BinaryElementwiseOp', 'UnaryElementwiseOp', 'add', 'sub', 'mul', 'div',
+    'relu', 'relu6', 'clip', 'exp', 'sqrt', 'rsqrt', 'erf', 'tanh', 'sigmoid',
+    'gelu', 'negate', 'broadcast_shapes',
+    'MatmulOp', 'BatchMatmulOp', 'matmul', 'batch_matmul',
+    'ReshapeOp', 'TransposeOp', 'ConcatOp', 'PadOp',
+    'reshape', 'transpose', 'concat', 'pad', 'flatten',
+    'Conv2dOp', 'Im2colOp', 'conv2d', 'conv2d_numpy',
+    'Pool2dOp', 'GlobalAvgPoolOp', 'max_pool2d', 'avg_pool2d', 'global_avg_pool',
+    'ReduceLastAxisOp', 'reduce_sum', 'reduce_mean', 'reduce_max',
+    'softmax', 'layer_norm', 'batch_norm', 'batch_norm_inference_params',
+    'EmbeddingOp', 'embedding',
+]

@@ -1,0 +1,39 @@
+"""Embedding lookup (gather) for the language models."""
+from __future__ import annotations
+
+import numpy as np
+
+from ..operator import Operator
+from ..tensor import Tensor
+from ...ir.compute import compute, tensor_input
+from ...ir.task import Task
+
+__all__ = ['EmbeddingOp', 'embedding']
+
+
+class EmbeddingOp(Operator):
+    """``out[s, h] = table[ids[s], h]`` — an injective gather."""
+
+    def __init__(self, table: Tensor, ids: Tensor):
+        if table.rank != 2 or ids.rank != 1:
+            raise ValueError('embedding expects a 2-D table and 1-D ids')
+        super().__init__([table, ids], name='embedding')
+
+    def infer_output(self):
+        table, ids = self.inputs
+        return (ids.shape[0], table.shape[1]), table.dtype
+
+    def make_task(self) -> Task:
+        table, ids = self.inputs
+        tt = tensor_input(table.name, table.dtype, table.shape)
+        ti = tensor_input(ids.name, ids.dtype, ids.shape)
+        out = compute(f'{self.name}_out', self.output.shape,
+                      lambda s, h: tt[ti[s], h])
+        return Task(self.name, [tt, ti], out, attrs={'kind': 'gather'})
+
+    def run_numpy(self, table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        return table[ids].astype(np.float32)
+
+
+def embedding(table: Tensor, ids: Tensor) -> Tensor:
+    return EmbeddingOp(table, ids).output

@@ -1,0 +1,76 @@
+"""Matrix-multiplication operators (the template-scheduled anchors)."""
+from __future__ import annotations
+
+import numpy as np
+
+from ..operator import Operator
+from ..tensor import Tensor
+from ...ir.compute import compute, reduce, tensor_input
+from ...ir.task import Task
+
+__all__ = ['MatmulOp', 'BatchMatmulOp', 'matmul', 'batch_matmul']
+
+
+class MatmulOp(Operator):
+    """``C[m, n] = sum_k A[m, k] * B[k, n]`` — scheduled by the matmul template."""
+
+    anchor_priority = 10
+
+    def __init__(self, a: Tensor, b: Tensor):
+        if a.rank != 2 or b.rank != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f'matmul shapes mismatch: {a.shape} x {b.shape}')
+        super().__init__([a, b], name='matmul')
+
+    def infer_output(self):
+        return (self.inputs[0].shape[0], self.inputs[1].shape[1]), self.inputs[0].dtype
+
+    def make_task(self) -> Task:
+        a, b = self.inputs
+        m, k = a.shape
+        n = b.shape[1]
+        ta = tensor_input(a.name, a.dtype, [m, k])
+        tb = tensor_input(b.name, b.dtype, [k, n])
+        out = compute(f'{self.name}_out', [m, n],
+                      lambda i, j: reduce([k], lambda kk: ta[i, kk] * tb[kk, j]))
+        return Task(self.name, [ta, tb], out,
+                    attrs={'kind': 'matmul', 'm': m, 'n': n, 'k': k, 'batch': 1})
+
+    def run_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a @ b).astype(np.float32)
+
+
+class BatchMatmulOp(Operator):
+    """``C[b, m, n] = sum_k A[b, m, k] * B[b, k, n]`` (attention matmuls)."""
+
+    anchor_priority = 10
+
+    def __init__(self, a: Tensor, b: Tensor):
+        if a.rank != 3 or b.rank != 3 or a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+            raise ValueError(f'batch_matmul shapes mismatch: {a.shape} x {b.shape}')
+        super().__init__([a, b], name='batch_matmul')
+
+    def infer_output(self):
+        a, b = self.inputs
+        return (a.shape[0], a.shape[1], b.shape[2]), a.dtype
+
+    def make_task(self) -> Task:
+        a, b = self.inputs
+        bs, m, k = a.shape
+        n = b.shape[2]
+        ta = tensor_input(a.name, a.dtype, [bs, m, k])
+        tb = tensor_input(b.name, b.dtype, [bs, k, n])
+        out = compute(f'{self.name}_out', [bs, m, n],
+                      lambda bb, i, j: reduce([k], lambda kk: ta[bb, i, kk] * tb[bb, kk, j]))
+        return Task(self.name, [ta, tb], out,
+                    attrs={'kind': 'matmul', 'm': m, 'n': n, 'k': k, 'batch': bs})
+
+    def run_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (a @ b).astype(np.float32)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return MatmulOp(a, b).output
+
+
+def batch_matmul(a: Tensor, b: Tensor) -> Tensor:
+    return BatchMatmulOp(a, b).output

@@ -1,0 +1,52 @@
+"""Normalization and attention-support functions built from primitive ops.
+
+These are *composite* graph builders, not new operators: softmax and
+layer-norm decompose into reductions plus elementwise arithmetic, mirroring
+how Hidet covers entire models with just two schedule templates (matmul and
+reduce) plus rule-based elementwise kernels (paper §6.1).  Batch-norm at
+inference folds into a per-channel scale/shift pair at import time.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .arithmetic import add, div, exp, mul, rsqrt, sub
+from .reduce import reduce_max, reduce_mean, reduce_sum
+from ..tensor import Tensor, from_numpy
+
+__all__ = ['softmax', 'layer_norm', 'batch_norm_inference_params', 'batch_norm']
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Numerically-stable softmax over the last axis (max-shifted)."""
+    shifted = sub(x, reduce_max(x, keepdims=True))
+    e = exp(shifted)
+    return div(e, reduce_sum(e, keepdims=True))
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine parameters."""
+    mean = reduce_mean(x, keepdims=True)
+    centered = sub(x, mean)
+    variance = reduce_mean(mul(centered, centered), keepdims=True)
+    inv_std = rsqrt(add(variance, from_numpy(np.float32(eps).reshape(()))))
+    return add(mul(mul(centered, inv_std), gamma), beta)
+
+
+def batch_norm_inference_params(weight: np.ndarray, bias: np.ndarray,
+                                running_mean: np.ndarray, running_var: np.ndarray,
+                                eps: float = 1e-5) -> tuple[np.ndarray, np.ndarray]:
+    """Fold batch-norm statistics into per-channel scale and shift."""
+    scale = weight / np.sqrt(running_var + eps)
+    shift = bias - running_mean * scale
+    return scale.astype(np.float32), shift.astype(np.float32)
+
+
+def batch_norm(x: Tensor, scale: Tensor, shift: Tensor) -> Tensor:
+    """Inference-time batch norm: ``x * scale + shift`` with channel broadcast.
+
+    ``scale``/``shift`` must be shaped for broadcasting (e.g. ``[C, 1, 1]``
+    against NCHW feature maps).  Both ops are elementwise, so the pair fuses
+    as an epilogue of the producing convolution (Conv2d-BN-ReLU, Figure 21).
+    """
+    return add(mul(x, scale), shift)

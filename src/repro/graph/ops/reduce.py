@@ -1,0 +1,71 @@
+"""Reduction operators over the last axis (sum / mean / max).
+
+Softmax and layer normalization are built from these (see
+:mod:`repro.graph.ops.norms`); the executor schedules large reductions with
+the block-parallel reduce template (the paper's second template) and small
+ones with the rule-based serial rule.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..operator import Operator
+from ..tensor import Tensor
+from ...ir.compute import compute, reduce, tensor_input
+from ...ir.task import Task
+
+__all__ = ['ReduceLastAxisOp', 'reduce_sum', 'reduce_mean', 'reduce_max']
+
+
+class ReduceLastAxisOp(Operator):
+    """Reduce the last axis; ``keepdims`` keeps a trailing 1 for broadcasting."""
+
+    def __init__(self, x: Tensor, kind: str, keepdims: bool = True):
+        if kind not in ('sum', 'avg', 'max'):
+            raise ValueError(f'unknown reduction {kind!r}')
+        if x.rank < 1:
+            raise ValueError('cannot reduce a scalar')
+        super().__init__([x], attrs={'kind': kind, 'keepdims': bool(keepdims)},
+                         name=f'reduce_{kind}')
+
+    def infer_output(self):
+        x = self.inputs[0]
+        base = x.shape[:-1]
+        if self.attrs['keepdims']:
+            return base + (1,), x.dtype
+        return base, x.dtype
+
+    def make_task(self) -> Task:
+        x = self.inputs[0]
+        kind = self.attrs['kind']
+        cols = x.shape[-1]
+        tx = tensor_input(x.name, x.dtype, x.shape)
+
+        def fcompute(*axes):
+            lead = axes[:-1] if self.attrs['keepdims'] else axes
+            return reduce([cols], lambda kk: tx[tuple(lead) + (kk,)], op=kind)
+
+        out = compute(f'{self.name}_out', self.output.shape, fcompute)
+        return Task(self.name, [tx], out,
+                    attrs={'kind': 'reduce', 'reduce_size': cols})
+
+    def run_numpy(self, x: np.ndarray) -> np.ndarray:
+        kind = self.attrs['kind']
+        keepdims = self.attrs['keepdims']
+        if kind == 'sum':
+            return x.sum(axis=-1, keepdims=keepdims).astype(np.float32)
+        if kind == 'avg':
+            return x.mean(axis=-1, keepdims=keepdims).astype(np.float32)
+        return x.max(axis=-1, keepdims=keepdims).astype(np.float32)
+
+
+def reduce_sum(x: Tensor, keepdims: bool = True) -> Tensor:
+    return ReduceLastAxisOp(x, 'sum', keepdims).output
+
+
+def reduce_mean(x: Tensor, keepdims: bool = True) -> Tensor:
+    return ReduceLastAxisOp(x, 'avg', keepdims).output
+
+
+def reduce_max(x: Tensor, keepdims: bool = True) -> Tensor:
+    return ReduceLastAxisOp(x, 'max', keepdims).output

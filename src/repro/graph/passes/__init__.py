@@ -1,0 +1,9 @@
+"""Graph-level optimization passes (paper Figure 10 step 2)."""
+from .fold_constants import fold_constants
+from .lower_conv import lower_conv_to_gemm
+from .fuse_partition import FusedGroup, partition_graph
+from .to_spec import GroupSpec, build_group_spec
+from .rewrite import rewrite_graph, clone_operator
+
+__all__ = ['fold_constants', 'lower_conv_to_gemm', 'FusedGroup', 'partition_graph',
+           'GroupSpec', 'build_group_spec', 'rewrite_graph', 'clone_operator']

@@ -1,0 +1,25 @@
+"""Constant folding (paper Figure 10 step 2: graph-level optimizations).
+
+Operators whose inputs are all constants are evaluated at compile time with
+their numpy reference; the batch-norm scale/shift arithmetic and reshaped
+convolution weights disappear from the runtime graph this way.
+"""
+from __future__ import annotations
+
+from ..flow_graph import FlowGraph
+from ..operator import Operator
+from ..tensor import Tensor
+from .rewrite import rewrite_graph
+
+__all__ = ['fold_constants']
+
+
+def fold_constants(graph: FlowGraph) -> FlowGraph:
+    def rule(op: Operator, inputs: list[Tensor]):
+        if all(t.is_constant for t in inputs):
+            value = op.run_numpy(*[t.numpy() for t in inputs])
+            return Tensor(op.output.shape, op.output.dtype, data=value,
+                          name=f'{op.output.name}_folded')
+        return None
+
+    return rewrite_graph(graph, rule)

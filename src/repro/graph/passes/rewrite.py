@@ -1,0 +1,49 @@
+"""Graph rewriting infrastructure shared by the graph passes."""
+from __future__ import annotations
+
+import copy
+from typing import Callable, Optional
+
+from ..flow_graph import FlowGraph
+from ..operator import Operator
+from ..tensor import Tensor
+
+__all__ = ['clone_operator', 'rewrite_graph']
+
+
+def clone_operator(op: Operator, new_inputs: list[Tensor]) -> Operator:
+    """Clone an operator onto new input tensors (fresh output, fresh task)."""
+    clone = copy.copy(op)
+    clone.inputs = list(new_inputs)
+    clone.__dict__.pop('task', None)       # invalidate the cached task
+    shape, dtype = clone.infer_output()
+    clone.output = Tensor(shape, dtype, producer=clone, name=op.output.name)
+    return clone
+
+
+def rewrite_graph(graph: FlowGraph,
+                  rule: Callable[[Operator, list[Tensor]], Optional[Tensor]],
+                  name: Optional[str] = None) -> FlowGraph:
+    """Rebuild a graph, letting ``rule`` replace operators.
+
+    ``rule(op, mapped_inputs)`` returns the replacement output tensor (which
+    may be the root of a freshly-built sub-graph or a constant), or ``None``
+    to keep the operator (it is then cloned onto the mapped inputs).
+    """
+    mapping: dict[int, Tensor] = {}
+
+    def mapped(t: Tensor) -> Tensor:
+        return mapping.get(t._id, t)
+
+    for op in graph.nodes:
+        new_inputs = [mapped(t) for t in op.inputs]
+        replacement = rule(op, new_inputs)
+        if replacement is None:
+            if all(a is b for a, b in zip(new_inputs, op.inputs)):
+                mapping[op.output._id] = op.output
+                continue
+            replacement = clone_operator(op, new_inputs).output
+        mapping[op.output._id] = replacement
+
+    outputs = [mapped(t) for t in graph.outputs]
+    return FlowGraph(outputs, name=name or graph.name)

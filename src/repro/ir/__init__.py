@@ -1,0 +1,29 @@
+"""Tensor-program IR: types, expressions, statements, functions and passes."""
+from .types import (DataType, TensorType, MemoryScope, data_type, tensor_type,
+                    f64, f32, f16, i64, i32, i8, u8, boolean)
+from .expr import (Expr, Var, Constant, BinaryExpr, UnaryExpr, Cast, TensorElement,
+                   IfThenElse, Call, ThreadIndex, BlockIndex, convert, var,
+                   scalar_var, tensor_var, const, logical_and, logical_or,
+                   logical_not, if_then_else, cast, min_expr, max_expr,
+                   thread_idx, block_idx)
+from .stmt import (Stmt, DeclareStmt, BufferStoreStmt, AssignStmt, LetStmt, ForStmt,
+                   ForTaskStmt, IfStmt, SeqStmt, BarrierStmt, EvaluateStmt, seq_stmt)
+from .func import Function, IRModule
+from .builders import FunctionBuilder
+from .functor import IRVisitor, IRRewriter, collect
+from .tools import substitute, free_vars, expr_repr, stmt_repr
+
+__all__ = [
+    'DataType', 'TensorType', 'MemoryScope', 'data_type', 'tensor_type',
+    'f64', 'f32', 'f16', 'i64', 'i32', 'i8', 'u8', 'boolean',
+    'Expr', 'Var', 'Constant', 'BinaryExpr', 'UnaryExpr', 'Cast', 'TensorElement',
+    'IfThenElse', 'Call', 'ThreadIndex', 'BlockIndex', 'convert', 'var',
+    'scalar_var', 'tensor_var', 'const', 'logical_and', 'logical_or',
+    'logical_not', 'if_then_else', 'cast', 'min_expr', 'max_expr',
+    'thread_idx', 'block_idx',
+    'Stmt', 'DeclareStmt', 'BufferStoreStmt', 'AssignStmt', 'LetStmt', 'ForStmt',
+    'ForTaskStmt', 'IfStmt', 'SeqStmt', 'BarrierStmt', 'EvaluateStmt', 'seq_stmt',
+    'Function', 'IRModule', 'FunctionBuilder',
+    'IRVisitor', 'IRRewriter', 'collect', 'substitute', 'free_vars',
+    'expr_repr', 'stmt_repr',
+]

@@ -1,0 +1,7 @@
+"""IR transformation and analysis passes."""
+from .lower_task_mapping import lower_task_mappings
+from .simplify import simplify, const_int
+from .verify import verify_function, IRVerificationError
+
+__all__ = ['lower_task_mappings', 'simplify', 'const_int',
+           'verify_function', 'IRVerificationError']

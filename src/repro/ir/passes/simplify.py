@@ -1,0 +1,313 @@
+"""Algebraic simplification and constant folding.
+
+Runs after task-mapping lowering: the index arithmetic produced by lowering
+(``(w // 8) % 8 * 1 + 0`` and friends) folds down to the clean expressions a
+human would write, which keeps generated CUDA readable and speeds up the
+interpreter.  Rules are standard and conservative:
+
+* constant folding of all scalar operators;
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x * 0``, ``x // 1``, ``x % 1``, ``0 // x``;
+* ``(x % m)`` dropped when ``0 <= x < m`` is provable from loop bounds;
+* ``(x // d)`` dropped (to 0) when ``0 <= x < d`` is provable;
+* ``if`` with constant condition; selects with constant condition;
+* ``&&``/``||`` with constant operands.
+
+Bounds are tracked for loop variables and for spatial de-linearization
+patterns (``expr % m`` has range ``[0, m)``).
+"""
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..expr import (Expr, Var, Constant, BinaryExpr, UnaryExpr, Cast, TensorElement,
+                    IfThenElse, Call, ThreadIndex, BlockIndex, convert)
+from ..functor import IRRewriter
+from ..stmt import ForStmt, IfStmt, SeqStmt, Stmt
+
+__all__ = ['simplify', 'const_int']
+
+_PY_BINARY = {
+    '+': lambda a, b: a + b,
+    '-': lambda a, b: a - b,
+    '*': lambda a, b: a * b,
+    '/': lambda a, b: a / b,
+    '//': lambda a, b: a // b,
+    '%': lambda a, b: a % b,
+    'min': min,
+    'max': max,
+    '<': lambda a, b: a < b,
+    '<=': lambda a, b: a <= b,
+    '==': lambda a, b: a == b,
+    '!=': lambda a, b: a != b,
+    '&&': lambda a, b: bool(a) and bool(b),
+    '||': lambda a, b: bool(a) or bool(b),
+}
+
+_PY_UNARY = {
+    '-': lambda a: -a,
+    '!': lambda a: not a,
+    'exp': math.exp, 'log': math.log, 'sqrt': math.sqrt,
+    'rsqrt': lambda a: 1.0 / math.sqrt(a),
+    'abs': abs, 'tanh': math.tanh, 'erf': math.erf,
+    'floor': math.floor, 'ceil': math.ceil,
+    'sigmoid': lambda a: 1.0 / (1.0 + math.exp(-a)),
+}
+
+
+def const_int(e: Expr) -> Optional[int]:
+    """Return the integer value of a constant expression, else ``None``."""
+    if isinstance(e, Constant) and not e.dtype.is_float and e.dtype.name != 'bool':
+        return int(e.value)
+    return None
+
+
+def _is_const(e: Expr, value) -> bool:
+    return isinstance(e, Constant) and e.value == value
+
+
+class _Range:
+    """Half-open integer range [low, high) or unknown (None bounds)."""
+
+    __slots__ = ('low', 'high')
+
+    def __init__(self, low: Optional[int], high: Optional[int]):
+        self.low = low
+        self.high = high
+
+    @property
+    def known(self) -> bool:
+        return self.low is not None and self.high is not None
+
+
+class Simplifier(IRRewriter):
+    def __init__(self, thread_dims: Optional[tuple[int, int, int]] = None,
+                 block_dims: Optional[tuple[int, int, int]] = None,
+                 reassigned_vars: Optional[set[int]] = None):
+        super().__init__()
+        self._ranges: dict[int, _Range] = {}  # var id -> range
+        self._thread_dims = thread_dims
+        self._block_dims = block_dims
+        self._reassigned = reassigned_vars or set()
+        self._const_vars: dict[int, Constant] = {}  # constant, never-reassigned declarations
+
+    # ---- range analysis --------------------------------------------------
+
+    def range_of(self, e: Expr) -> _Range:
+        if isinstance(e, Constant):
+            v = const_int(e)
+            if v is not None:
+                return _Range(v, v + 1)
+        if isinstance(e, ThreadIndex) and self._thread_dims is not None:
+            return _Range(0, self._thread_dims['xyz'.index(e.dim)])
+        if isinstance(e, BlockIndex) and self._block_dims is not None:
+            return _Range(0, self._block_dims['xyz'.index(e.dim)])
+        if isinstance(e, Var):
+            return self._ranges.get(e._id, _Range(None, None))
+        if isinstance(e, BinaryExpr):
+            ra, rb = self.range_of(e.a), self.range_of(e.b)
+            if e.op == '%':
+                m = const_int(e.b)
+                if m is not None and m > 0:
+                    if ra.known and ra.low >= 0 and ra.high <= m:
+                        return ra  # modulo is a no-op; handled by rewrite too
+                    return _Range(0, m)
+            if not (ra.known and rb.known):
+                return _Range(None, None)
+            if e.op == '+':
+                return _Range(ra.low + rb.low, ra.high + rb.high - 1)
+            if e.op == '-':
+                return _Range(ra.low - (rb.high - 1), ra.high - rb.low)
+            if e.op == '*':
+                corners = [a * b for a in (ra.low, ra.high - 1) for b in (rb.low, rb.high - 1)]
+                return _Range(min(corners), max(corners) + 1)
+            if e.op == '//':
+                if rb.low is not None and rb.low > 0:
+                    corners = [a // b for a in (ra.low, ra.high - 1) for b in (rb.low, rb.high - 1)]
+                    return _Range(min(corners), max(corners) + 1)
+        return _Range(None, None)
+
+    # ---- expressions --------------------------------------------------------
+
+    def visit_BinaryExpr(self, e: BinaryExpr):
+        a = self.visit(e.a)
+        b = self.visit(e.b)
+        ca, cb = isinstance(a, Constant), isinstance(b, Constant)
+        if ca and cb:
+            result = _PY_BINARY[e.op](a.value, b.value)
+            if e.op in ('<', '<=', '==', '!=', '&&', '||'):
+                return Constant(bool(result), 'bool')
+            if e.op == '/':
+                return Constant(result, 'float32' if isinstance(result, float) else a.dtype)
+            return Constant(result, a.dtype if a.dtype.nbytes >= b.dtype.nbytes else b.dtype)
+        if e.op == '+':
+            if _is_const(a, 0):
+                return b
+            if _is_const(b, 0):
+                return a
+        elif e.op == '-':
+            if _is_const(b, 0):
+                return a
+        elif e.op == '*':
+            if _is_const(a, 1):
+                return b
+            if _is_const(b, 1):
+                return a
+            if _is_const(a, 0) or _is_const(b, 0):
+                return Constant(0, 'int32' if not (ca and a.dtype.is_float) else a.dtype)
+        elif e.op == '//':
+            if _is_const(b, 1):
+                return a
+            d = const_int(b)
+            if d is not None and d > 0:
+                ra = self.range_of(a)
+                if ra.known and 0 <= ra.low and ra.high <= d:
+                    return Constant(0, 'int32')
+        elif e.op == '%':
+            if _is_const(b, 1):
+                return Constant(0, 'int32')
+            m = const_int(b)
+            if m is not None and m > 0:
+                ra = self.range_of(a)
+                if ra.known and 0 <= ra.low and ra.high <= m:
+                    return a
+        elif e.op == '&&':
+            if _is_const(a, True):
+                return b
+            if _is_const(b, True):
+                return a
+            if _is_const(a, False) or _is_const(b, False):
+                return Constant(False, 'bool')
+        elif e.op == '||':
+            if _is_const(a, False):
+                return b
+            if _is_const(b, False):
+                return a
+            if _is_const(a, True) or _is_const(b, True):
+                return Constant(True, 'bool')
+        elif e.op in ('<', '<='):
+            # prove bounds comparisons from ranges (drops redundant predicates)
+            ra, rb = self.range_of(a), self.range_of(b)
+            if ra.known and rb.known:
+                if e.op == '<':
+                    if ra.high - 1 < rb.low:
+                        return Constant(True, 'bool')
+                    if ra.low >= rb.high - 1 + 1:
+                        return Constant(False, 'bool')
+                else:
+                    if ra.high - 1 <= rb.low:
+                        return Constant(True, 'bool')
+                    if ra.low > rb.high - 1:
+                        return Constant(False, 'bool')
+        if a is e.a and b is e.b:
+            return e
+        return BinaryExpr(e.op, a, b)
+
+    def visit_UnaryExpr(self, e: UnaryExpr):
+        a = self.visit(e.a)
+        if isinstance(a, Constant):
+            try:
+                result = _PY_UNARY[e.op](a.value)
+            except (ValueError, OverflowError):
+                result = None
+            if result is not None:
+                if e.op == '!':
+                    return Constant(bool(result), 'bool')
+                dtype = a.dtype if e.op in ('-', 'abs') else 'float32'
+                return Constant(result, dtype)
+        return e if a is e.a else UnaryExpr(e.op, a)
+
+    def visit_IfThenElse(self, e: IfThenElse):
+        cond = self.visit(e.cond)
+        if isinstance(cond, Constant):
+            return self.visit(e.then_expr if cond.value else e.else_expr)
+        t, f = self.visit(e.then_expr), self.visit(e.else_expr)
+        if cond is e.cond and t is e.then_expr and f is e.else_expr:
+            return e
+        return IfThenElse(cond, t, f)
+
+    def visit_Var(self, e: Var):
+        return self._const_vars.get(e._id, e)
+
+    def visit_ThreadIndex(self, e):
+        if self._thread_dims is not None and self._thread_dims['xyz'.index(e.dim)] == 1:
+            return Constant(0, 'int32')
+        return e
+
+    def visit_BlockIndex(self, e):
+        if self._block_dims is not None and self._block_dims['xyz'.index(e.dim)] == 1:
+            return Constant(0, 'int32')
+        return e
+
+    # ---- statements -----------------------------------------------------------
+
+    def visit_DeclareStmt(self, s):
+        from ..stmt import DeclareStmt
+        init = self.visit(s.init) if s.init is not None else None
+        if (init is not None and isinstance(init, Constant)
+                and s.var._id not in self._reassigned):
+            self._const_vars[s.var._id] = init
+        if init is s.init:
+            return s
+        return DeclareStmt(s.var, init)
+
+    def visit_ForStmt(self, s: ForStmt):
+        extent = self.visit(s.extent)
+        n = const_int(extent)
+        if n is not None:
+            if n == 0:
+                return SeqStmt(())
+            self._ranges[s.loop_var._id] = _Range(0, n)
+        body = self.visit(s.body)
+        if n == 1:
+            from ..tools import substitute
+            return self.visit(substitute(body, {s.loop_var: Constant(0, 'int32')}))
+        if extent is s.extent and body is s.body:
+            return s
+        return ForStmt(s.loop_var, extent, body, s.unroll)
+
+    def visit_IfStmt(self, s: IfStmt):
+        cond = self.visit(s.cond)
+        if isinstance(cond, Constant):
+            if cond.value:
+                return self.visit(s.then_body)
+            if s.else_body is not None:
+                return self.visit(s.else_body)
+            return SeqStmt(())
+        then_body = self.visit(s.then_body)
+        else_body = self.visit(s.else_body) if s.else_body is not None else None
+        if cond is s.cond and then_body is s.then_body and else_body is s.else_body:
+            return s
+        return IfStmt(cond, then_body, else_body)
+
+    def visit_SeqStmt(self, s: SeqStmt):
+        stmts = []
+        changed = False
+        for st in s.stmts:
+            new = self.visit(st)
+            changed = changed or new is not st
+            if isinstance(new, SeqStmt):
+                stmts.extend(new.stmts)
+                changed = True
+            else:
+                stmts.append(new)
+        return SeqStmt(tuple(stmts)) if changed else s
+
+
+def simplify(node):
+    """Simplify a statement, expression, or function (fixed single pass).
+
+    When given a :class:`~repro.ir.func.Function`, the known launch dimensions
+    bound ``threadIdx``/``blockIdx``, which lets the pass drop the redundant
+    ``%``/``//`` that task-mapping lowering produces.
+    """
+    from ..func import Function
+    from ..functor import collect
+    from ..stmt import AssignStmt
+    if isinstance(node, Function):
+        reassigned = {s.var._id for s in collect(node.body, AssignStmt)}
+        simplifier = Simplifier(thread_dims=node.block_dim, block_dims=node.grid_dim,
+                                reassigned_vars=reassigned)
+        body = simplifier.visit(node.body)
+        return Function(node.name, node.params, body, node.grid_dim, node.block_dim, node.attrs)
+    return Simplifier().visit(node)

@@ -1,0 +1,93 @@
+"""Operator tasks: the unit handed to scheduling and fusion.
+
+A :class:`Task` bundles an operator's computation definition (inputs and
+output as :mod:`repro.ir.compute` nodes) with the metadata fusion needs:
+
+* ``is_injective`` — no reduction: the op qualifies as a *prologue* when it
+  produces an anchor input (paper §4.2);
+* ``is_bijective`` — injective and each input element feeds exactly one
+  output element: the op qualifies as an *epilogue*;
+* ``inverse_maps`` — for bijective ops, the explicit inverse index map per
+  input: given the indices at which the op *reads* its input, where does the
+  result land in the op's output?  Post-scheduling fusion uses this to
+  redirect the anchor's stores through the epilogue chain (Figure 15).
+"""
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .compute import GridCompute, TensorInput, TensorNode
+from .expr import Expr, Var, convert, var as make_var
+
+__all__ = ['Task', 'InverseMap', 'identity_inverse_map']
+
+
+class InverseMap:
+    """Bijective index map from an input's indices to the output's indices.
+
+    ``axes`` are placeholder variables for the *input* element index;
+    ``indices`` give the output element that input element contributes to.
+    For an elementwise op this is the identity; for ``transpose`` it is the
+    axis permutation; for ``reshape`` it is unflatten∘flatten.
+    """
+
+    def __init__(self, axes: Sequence[Var], indices: Sequence[Expr]):
+        self.axes = tuple(axes)
+        self.indices = tuple(convert(i) for i in indices)
+
+    @staticmethod
+    def from_lambda(fn: Callable[..., Sequence[Expr]], num_args: int) -> 'InverseMap':
+        axes = tuple(make_var(f'x{k}', 'int32') for k in range(num_args))
+        indices = fn(*axes)
+        if isinstance(indices, Expr):
+            indices = [indices]
+        return InverseMap(axes, indices)
+
+    def apply(self, input_indices: Sequence[Expr]) -> tuple[Expr, ...]:
+        """Map concrete input indices to output indices."""
+        from .tools import substitute
+        if len(input_indices) != len(self.axes):
+            raise ValueError(
+                f'inverse map expects {len(self.axes)} indices, got {len(input_indices)}')
+        mapping = {axis: convert(i) for axis, i in zip(self.axes, input_indices)}
+        return tuple(substitute(i, mapping) for i in self.indices)
+
+
+def identity_inverse_map(rank: int) -> InverseMap:
+    """The identity inverse map of an elementwise operator."""
+    return InverseMap.from_lambda(lambda *axes: list(axes), rank)
+
+
+class Task:
+    """An operator's computation: inputs, single output, fusion metadata."""
+
+    def __init__(self, name: str, inputs: Sequence[TensorInput], output: GridCompute,
+                 inverse_maps: Optional[dict[TensorInput, InverseMap]] = None,
+                 attrs: Optional[dict] = None):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.output = output
+        self.inverse_maps = dict(inverse_maps or {})
+        self.attrs = dict(attrs or {})
+
+    # -- fusion classification (paper §4.2) ---------------------------------
+
+    @property
+    def is_injective(self) -> bool:
+        """True when the output contains no reduction."""
+        return self.output.is_injective
+
+    @property
+    def is_bijective(self) -> bool:
+        """True when injective and every input has an inverse index map."""
+        return self.is_injective and all(inp in self.inverse_maps for inp in self.inputs)
+
+    def inverse_map_of(self, inp: TensorInput) -> InverseMap:
+        try:
+            return self.inverse_maps[inp]
+        except KeyError:
+            raise KeyError(f'task {self.name!r} has no inverse map for input {inp.name!r}') from None
+
+    def __repr__(self) -> str:
+        ins = ', '.join(f'{i.name}{list(i.shape)}' for i in self.inputs)
+        return f'Task({self.name}: ({ins}) -> {self.output.name}{list(self.output.shape)})'

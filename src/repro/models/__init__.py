@@ -1,0 +1,17 @@
+"""Model zoo: the five networks of the paper's evaluation (§6.1)."""
+from .resnet import resnet50
+from .inception import inception_v3
+from .mobilenet import mobilenet_v2
+from .bert import bert_base
+from .gpt2 import gpt2
+
+__all__ = ['resnet50', 'inception_v3', 'mobilenet_v2', 'bert_base', 'gpt2']
+
+#: name -> builder, as used by the end-to-end experiments
+MODEL_BUILDERS = {
+    'resnet50': resnet50,
+    'inception_v3': inception_v3,
+    'mobilenet_v2': mobilenet_v2,
+    'bert': bert_base,
+    'gpt2': gpt2,
+}

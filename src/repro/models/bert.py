@@ -1,0 +1,82 @@
+"""Bert-base (Devlin et al., 2018): 12-layer post-norm transformer encoder.
+
+Sequence length 128 (the paper's setting, §6.1), hidden 768, 12 heads.
+Batch size 1 is modeled by a 2-D [seq, hidden] activation; the attention
+score/context products are batched matmuls over heads.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import FlowGraph, Tensor, from_numpy, ops, symbol, trace
+from .common import WeightFactory, linear
+
+__all__ = ['bert_base', 'transformer_encoder_layer']
+
+
+def transformer_encoder_layer(wf: WeightFactory, x: Tensor, hidden: int, heads: int,
+                              ffn: int, name: str, causal_mask: Tensor | None = None,
+                              pre_norm: bool = False) -> Tensor:
+    """One encoder layer: MHA + FFN with residuals and layer norms."""
+    seq = x.shape[0]
+    head_dim = hidden // heads
+    scale = 1.0 / float(np.sqrt(head_dim))
+
+    def split_heads(t: Tensor) -> Tensor:
+        return ops.transpose(ops.reshape(t, [seq, heads, head_dim]), [1, 0, 2])
+
+    def ln_params(tag: str):
+        return (wf.vector(hidden, name=f'{name}_{tag}_g', scale=0.02),
+                wf.vector(hidden, name=f'{name}_{tag}_b', scale=0.02))
+
+    def maybe_norm(t: Tensor, tag: str) -> Tensor:
+        gamma, beta = ln_params(tag)
+        one = from_numpy(np.ones((hidden,), dtype=np.float32), name=f'{name}_{tag}_one')
+        return ops.layer_norm(t, ops.add(one, gamma), beta)
+
+    attn_in = maybe_norm(x, 'ln1') if pre_norm else x
+    q = split_heads(linear(wf, attn_in, hidden, name=f'{name}_q'))
+    k = split_heads(linear(wf, attn_in, hidden, name=f'{name}_k'))
+    v = split_heads(linear(wf, attn_in, hidden, name=f'{name}_v'))
+
+    scores = ops.batch_matmul(q, ops.transpose(k, [0, 2, 1]))      # [heads, S, S]
+    scores = ops.mul(scores, from_numpy(np.float32(scale).reshape(()),
+                                        name=f'{name}_scale'))
+    if causal_mask is not None:
+        scores = ops.add(scores, causal_mask)
+    probs = ops.softmax(scores)
+    context = ops.batch_matmul(probs, v)                           # [heads, S, dh]
+    context = ops.reshape(ops.transpose(context, [1, 0, 2]), [seq, hidden])
+    attn_out = linear(wf, context, hidden, name=f'{name}_o')
+    x = ops.add(x, attn_out)
+    if not pre_norm:
+        x = maybe_norm(x, 'ln1')
+
+    ffn_in = maybe_norm(x, 'ln2') if pre_norm else x
+    h = ops.gelu(linear(wf, ffn_in, ffn, name=f'{name}_ffn1'))
+    h = linear(wf, h, hidden, name=f'{name}_ffn2')
+    x = ops.add(x, h)
+    if not pre_norm:
+        x = maybe_norm(x, 'ln2')
+    return x
+
+
+def bert_base(seq_length: int = 128, hidden: int = 768, layers: int = 12,
+              heads: int = 12, vocab_size: int = 30522, seed: int = 128) -> FlowGraph:
+    """Build the Bert-base encoder graph (token ids -> final hidden states)."""
+    wf = WeightFactory(seed)
+    ids = symbol([seq_length], dtype='int32', name='input_ids')
+    token_table = wf.matrix(vocab_size, hidden, name='token_emb')
+    pos_table = wf.matrix(seq_length, hidden, name='pos_emb')
+    pos_ids = from_numpy(np.arange(seq_length, dtype=np.int32), name='positions')
+
+    x = ops.add(ops.embedding(token_table, ids), ops.embedding(pos_table, pos_ids))
+    gamma = wf.vector(hidden, name='emb_ln_g', scale=0.02)
+    beta = wf.vector(hidden, name='emb_ln_b', scale=0.02)
+    one = from_numpy(np.ones((hidden,), dtype=np.float32), name='emb_one')
+    x = ops.layer_norm(x, ops.add(one, gamma), beta)
+
+    for layer in range(layers):
+        x = transformer_encoder_layer(wf, x, hidden, heads, 4 * hidden,
+                                      name=f'layer{layer}')
+    return trace(x, name=f'bert_s{seq_length}')

@@ -1,0 +1,73 @@
+"""Shared building blocks for the model zoo.
+
+Weights are seeded-random constants with magnitudes that keep activations in
+a sane range (the experiments only need correct shapes and graph structure;
+functional tests compare executors against the numpy reference, so values
+just need to be finite and non-degenerate).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Tensor, from_numpy, ops
+
+__all__ = ['WeightFactory', 'conv_bn_relu', 'linear']
+
+
+class WeightFactory:
+    """Deterministic weight generator: one seed stream per model."""
+
+    def __init__(self, seed: int):
+        self.rng = np.random.default_rng(seed)
+
+    def conv_weight(self, oc: int, ic: int, kh: int, kw: int, name: str = 'w') -> Tensor:
+        fan_in = max(1, ic * kh * kw)
+        scale = (2.0 / fan_in) ** 0.5
+        data = (self.rng.standard_normal((oc, ic, kh, kw)) * scale).astype(np.float32)
+        return from_numpy(data, name=name)
+
+    def matrix(self, rows: int, cols: int, name: str = 'w') -> Tensor:
+        scale = (1.0 / max(1, rows)) ** 0.5
+        data = (self.rng.standard_normal((rows, cols)) * scale).astype(np.float32)
+        return from_numpy(data, name=name)
+
+    def vector(self, n: int, name: str = 'b', scale: float = 0.02) -> Tensor:
+        data = (self.rng.standard_normal((n,)) * scale).astype(np.float32)
+        return from_numpy(data, name=name)
+
+    def bn_params(self, channels: int, name: str = 'bn') -> tuple[Tensor, Tensor]:
+        """Folded inference-time batch-norm scale/shift, shaped [C, 1, 1]."""
+        scale = (1.0 + self.rng.standard_normal((channels, 1, 1)) * 0.05).astype(np.float32)
+        shift = (self.rng.standard_normal((channels, 1, 1)) * 0.05).astype(np.float32)
+        return from_numpy(scale, name=f'{name}_scale'), from_numpy(shift, name=f'{name}_shift')
+
+
+def conv_bn_relu(wf: WeightFactory, x: Tensor, out_channels: int,
+                 kernel: int | tuple[int, int], stride: int = 1, padding=0,
+                 groups: int = 1, relu: bool = True, relu6: bool = False,
+                 name: str = 'conv') -> Tensor:
+    """The Conv2d-BN-ReLU motif (paper Figures 6 and 21)."""
+    kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+    in_channels = x.shape[1] // groups
+    weight = wf.conv_weight(out_channels, in_channels, kh, kw, name=f'{name}_w')
+    y = ops.conv2d(x, weight, stride=stride, padding=padding, groups=groups)
+    scale, shift = wf.bn_params(out_channels, name=f'{name}_bn')
+    y = ops.batch_norm(y, scale, shift)
+    if relu6:
+        return ops.relu6(y)
+    if relu:
+        return ops.relu(y)
+    return y
+
+
+def linear(wf: WeightFactory, x: Tensor, out_features: int, bias: bool = True,
+           name: str = 'fc') -> Tensor:
+    """Dense layer ``[*, in] @ [in, out] (+ bias)``."""
+    in_features = x.shape[-1]
+    weight = wf.matrix(in_features, out_features, name=f'{name}_w')
+    if x.rank != 2:
+        raise ValueError('linear expects a 2-D input; reshape first')
+    y = ops.matmul(x, weight)
+    if bias:
+        y = ops.add(y, wf.vector(out_features, name=f'{name}_b'))
+    return y

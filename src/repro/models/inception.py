@@ -1,0 +1,104 @@
+"""Inception-V3 (Szegedy et al., 2016) — the torchvision architecture.
+
+The model's signature is its many convolution shapes per stage — including
+rectangular 1×7 / 7×1 kernels — which is what makes its input-centric tuning
+so expensive (15 hours under AutoTVM in paper Figure 17) and its schedule
+spaces so large (Figure 7 counts every distinct conv workload).
+"""
+from __future__ import annotations
+
+from ..graph import FlowGraph, Tensor, ops, symbol, trace
+from .common import WeightFactory, conv_bn_relu, linear
+
+__all__ = ['inception_v3']
+
+
+def _inception_a(wf, x, pool_features: int, name: str) -> Tensor:
+    b1 = conv_bn_relu(wf, x, 64, kernel=1, name=f'{name}_1x1')
+    b5 = conv_bn_relu(wf, x, 48, kernel=1, name=f'{name}_5x5a')
+    b5 = conv_bn_relu(wf, b5, 64, kernel=5, padding=2, name=f'{name}_5x5b')
+    b3 = conv_bn_relu(wf, x, 64, kernel=1, name=f'{name}_3x3a')
+    b3 = conv_bn_relu(wf, b3, 96, kernel=3, padding=1, name=f'{name}_3x3b')
+    b3 = conv_bn_relu(wf, b3, 96, kernel=3, padding=1, name=f'{name}_3x3c')
+    bp = ops.avg_pool2d(x, kernel=3, stride=1, padding=1)
+    bp = conv_bn_relu(wf, bp, pool_features, kernel=1, name=f'{name}_pool')
+    return ops.concat([b1, b5, b3, bp], axis=1)
+
+
+def _inception_b(wf, x, name: str) -> Tensor:
+    b3 = conv_bn_relu(wf, x, 384, kernel=3, stride=2, name=f'{name}_3x3')
+    bd = conv_bn_relu(wf, x, 64, kernel=1, name=f'{name}_dbl_a')
+    bd = conv_bn_relu(wf, bd, 96, kernel=3, padding=1, name=f'{name}_dbl_b')
+    bd = conv_bn_relu(wf, bd, 96, kernel=3, stride=2, name=f'{name}_dbl_c')
+    bp = ops.max_pool2d(x, kernel=3, stride=2)
+    return ops.concat([b3, bd, bp], axis=1)
+
+
+def _inception_c(wf, x, c7: int, name: str) -> Tensor:
+    b1 = conv_bn_relu(wf, x, 192, kernel=1, name=f'{name}_1x1')
+    b7 = conv_bn_relu(wf, x, c7, kernel=1, name=f'{name}_7a')
+    b7 = conv_bn_relu(wf, b7, c7, kernel=(1, 7), padding=(0, 3), name=f'{name}_7b')
+    b7 = conv_bn_relu(wf, b7, 192, kernel=(7, 1), padding=(3, 0), name=f'{name}_7c')
+    bd = conv_bn_relu(wf, x, c7, kernel=1, name=f'{name}_7d_a')
+    bd = conv_bn_relu(wf, bd, c7, kernel=(7, 1), padding=(3, 0), name=f'{name}_7d_b')
+    bd = conv_bn_relu(wf, bd, c7, kernel=(1, 7), padding=(0, 3), name=f'{name}_7d_c')
+    bd = conv_bn_relu(wf, bd, c7, kernel=(7, 1), padding=(3, 0), name=f'{name}_7d_d')
+    bd = conv_bn_relu(wf, bd, 192, kernel=(1, 7), padding=(0, 3), name=f'{name}_7d_e')
+    bp = ops.avg_pool2d(x, kernel=3, stride=1, padding=1)
+    bp = conv_bn_relu(wf, bp, 192, kernel=1, name=f'{name}_pool')
+    return ops.concat([b1, b7, bd, bp], axis=1)
+
+
+def _inception_d(wf, x, name: str) -> Tensor:
+    b3 = conv_bn_relu(wf, x, 192, kernel=1, name=f'{name}_3a')
+    b3 = conv_bn_relu(wf, b3, 320, kernel=3, stride=2, name=f'{name}_3b')
+    b7 = conv_bn_relu(wf, x, 192, kernel=1, name=f'{name}_7a')
+    b7 = conv_bn_relu(wf, b7, 192, kernel=(1, 7), padding=(0, 3), name=f'{name}_7b')
+    b7 = conv_bn_relu(wf, b7, 192, kernel=(7, 1), padding=(3, 0), name=f'{name}_7c')
+    b7 = conv_bn_relu(wf, b7, 192, kernel=3, stride=2, name=f'{name}_7d')
+    bp = ops.max_pool2d(x, kernel=3, stride=2)
+    return ops.concat([b3, b7, bp], axis=1)
+
+
+def _inception_e(wf, x, name: str) -> Tensor:
+    b1 = conv_bn_relu(wf, x, 320, kernel=1, name=f'{name}_1x1')
+    b3 = conv_bn_relu(wf, x, 384, kernel=1, name=f'{name}_3a')
+    b3a = conv_bn_relu(wf, b3, 384, kernel=(1, 3), padding=(0, 1), name=f'{name}_3b1')
+    b3b = conv_bn_relu(wf, b3, 384, kernel=(3, 1), padding=(1, 0), name=f'{name}_3b2')
+    b3 = ops.concat([b3a, b3b], axis=1)
+    bd = conv_bn_relu(wf, x, 448, kernel=1, name=f'{name}_da')
+    bd = conv_bn_relu(wf, bd, 384, kernel=3, padding=1, name=f'{name}_db')
+    bda = conv_bn_relu(wf, bd, 384, kernel=(1, 3), padding=(0, 1), name=f'{name}_dc1')
+    bdb = conv_bn_relu(wf, bd, 384, kernel=(3, 1), padding=(1, 0), name=f'{name}_dc2')
+    bd = ops.concat([bda, bdb], axis=1)
+    bp = ops.avg_pool2d(x, kernel=3, stride=1, padding=1)
+    bp = conv_bn_relu(wf, bp, 192, kernel=1, name=f'{name}_pool')
+    return ops.concat([b1, b3, bd, bp], axis=1)
+
+
+def inception_v3(batch_size: int = 1, image_size: int = 299, num_classes: int = 1000,
+                 seed: int = 33) -> FlowGraph:
+    """Build the Inception-V3 inference graph (299×299 input)."""
+    wf = WeightFactory(seed)
+    x = symbol([batch_size, 3, image_size, image_size], name='input')
+    y = conv_bn_relu(wf, x, 32, kernel=3, stride=2, name='stem_a')
+    y = conv_bn_relu(wf, y, 32, kernel=3, name='stem_b')
+    y = conv_bn_relu(wf, y, 64, kernel=3, padding=1, name='stem_c')
+    y = ops.max_pool2d(y, kernel=3, stride=2)
+    y = conv_bn_relu(wf, y, 80, kernel=1, name='stem_d')
+    y = conv_bn_relu(wf, y, 192, kernel=3, name='stem_e')
+    y = ops.max_pool2d(y, kernel=3, stride=2)
+
+    y = _inception_a(wf, y, 32, 'mixed0')
+    y = _inception_a(wf, y, 64, 'mixed1')
+    y = _inception_a(wf, y, 64, 'mixed2')
+    y = _inception_b(wf, y, 'mixed3')
+    for i, c7 in enumerate((128, 160, 160, 192)):
+        y = _inception_c(wf, y, c7, f'mixed{4 + i}')
+    y = _inception_d(wf, y, 'mixed8')
+    y = _inception_e(wf, y, 'mixed9')
+    y = _inception_e(wf, y, 'mixed10')
+
+    y = ops.global_avg_pool(y)
+    y = linear(wf, y, num_classes, name='fc')
+    return trace(y, name=f'inception_v3_b{batch_size}')

@@ -1,0 +1,58 @@
+"""MobileNet-V2 (Sandler et al., 2018) — inverted residuals with depthwise convs.
+
+The depthwise convolutions are the model's signature: Hidet schedules them
+rule-based (no dedicated template), which is why Ansor — with its dedicated
+depthwise sketch — wins this model in the paper's Figure 16 (0.88×).
+"""
+from __future__ import annotations
+
+from ..graph import FlowGraph, Tensor, ops, symbol, trace
+from .common import WeightFactory, conv_bn_relu, linear
+
+__all__ = ['mobilenet_v2']
+
+# (expansion t, output channels c, repeats n, first stride s)
+_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(wf: WeightFactory, x: Tensor, expand: int, out: int,
+                       stride: int, name: str) -> Tensor:
+    cin = x.shape[1]
+    hidden = cin * expand
+    y = x
+    if expand != 1:
+        y = conv_bn_relu(wf, y, hidden, kernel=1, relu=False, relu6=True,
+                         name=f'{name}_expand')
+    y = conv_bn_relu(wf, y, hidden, kernel=3, stride=stride, padding=1,
+                     groups=hidden, relu=False, relu6=True, name=f'{name}_dw')
+    y = conv_bn_relu(wf, y, out, kernel=1, relu=False, name=f'{name}_project')
+    if stride == 1 and cin == out:
+        y = ops.add(y, x)
+    return y
+
+
+def mobilenet_v2(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000,
+                 seed: int = 22) -> FlowGraph:
+    """Build the MobileNet-V2 inference graph."""
+    wf = WeightFactory(seed)
+    x = symbol([batch_size, 3, image_size, image_size], name='input')
+    y = conv_bn_relu(wf, x, 32, kernel=3, stride=2, padding=1, relu=False, relu6=True,
+                     name='stem')
+    block = 0
+    for expand, out, repeats, first_stride in _SETTINGS:
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            y = _inverted_residual(wf, y, expand, out, stride, name=f'b{block}')
+            block += 1
+    y = conv_bn_relu(wf, y, 1280, kernel=1, relu=False, relu6=True, name='head')
+    y = ops.global_avg_pool(y)
+    y = linear(wf, y, num_classes, name='fc')
+    return trace(y, name=f'mobilenet_v2_b{batch_size}')

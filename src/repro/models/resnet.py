@@ -1,0 +1,48 @@
+"""ResNet-50 (He et al., 2016) — the torchvision architecture at NCHW fp32.
+
+Bottleneck blocks (1×1 reduce, 3×3, 1×1 expand ×4) with projection shortcuts;
+stage layout [3, 4, 6, 3]; stride-2 on the 3×3 of each stage's first block
+(torchvision v1.5 convention).
+"""
+from __future__ import annotations
+
+from ..graph import FlowGraph, Tensor, ops, symbol, trace
+from .common import WeightFactory, conv_bn_relu, linear
+
+__all__ = ['resnet50']
+
+_STAGES = [  # (blocks, mid_channels, out_channels, first_stride)
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+]
+
+
+def _bottleneck(wf: WeightFactory, x: Tensor, mid: int, out: int, stride: int,
+                name: str) -> Tensor:
+    identity = x
+    y = conv_bn_relu(wf, x, mid, kernel=1, name=f'{name}_c1')
+    y = conv_bn_relu(wf, y, mid, kernel=3, stride=stride, padding=1, name=f'{name}_c2')
+    y = conv_bn_relu(wf, y, out, kernel=1, relu=False, name=f'{name}_c3')
+    if stride != 1 or x.shape[1] != out:
+        identity = conv_bn_relu(wf, x, out, kernel=1, stride=stride, relu=False,
+                                name=f'{name}_down')
+    return ops.relu(ops.add(y, identity))
+
+
+def resnet50(batch_size: int = 1, image_size: int = 224, num_classes: int = 1000,
+             seed: int = 50) -> FlowGraph:
+    """Build the ResNet-50 inference graph."""
+    wf = WeightFactory(seed)
+    x = symbol([batch_size, 3, image_size, image_size], name='input')
+    y = conv_bn_relu(wf, x, 64, kernel=7, stride=2, padding=3, name='stem')
+    y = ops.max_pool2d(y, kernel=3, stride=2, padding=1)
+    for stage_idx, (blocks, mid, out, first_stride) in enumerate(_STAGES):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            y = _bottleneck(wf, y, mid, out, stride,
+                            name=f's{stage_idx}b{block_idx}')
+    y = ops.global_avg_pool(y)
+    y = linear(wf, y, num_classes, name='fc')
+    return trace(y, name=f'resnet50_b{batch_size}')

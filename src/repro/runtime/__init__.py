@@ -1,0 +1,7 @@
+"""Runtime: the Hidet compile pipeline and compiled executables."""
+from .compiled import CompiledOp, CompiledGraph
+from .executor import HidetExecutor, optimize
+from .profiler import Measurement, benchmark
+
+__all__ = ['CompiledOp', 'CompiledGraph', 'HidetExecutor', 'optimize',
+           'Measurement', 'benchmark']

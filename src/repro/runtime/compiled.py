@@ -1,0 +1,116 @@
+"""Compiled artifacts: per-group kernels and whole-graph executables."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.flow_graph import FlowGraph
+from ..graph.passes.fuse_partition import FusedGroup
+from ..gpusim.device import DeviceSpec
+from ..gpusim.stats import KernelStats
+from ..ir.func import IRModule
+
+__all__ = ['CompiledOp', 'CompiledGraph']
+
+
+@dataclass
+class CompiledOp:
+    """One fused group compiled to kernels, with modeled latency.
+
+    Functional execution uses the member operators' numpy references (the
+    kernels themselves are validated against the interpreter in the test
+    suite on small shapes; re-interpreting every kernel at model scale would
+    be pointlessly slow).
+    """
+
+    name: str
+    group: FusedGroup
+    kind: str                       # 'matmul_template' | 'reduce_template' | 'rule_based'
+    stats: list[KernelStats]
+    latency: float                  # modeled seconds for all kernels of the op
+    module: Optional[IRModule] = None
+    schedule: object = None
+    num_kernels: int = 1
+
+    def run_numpy(self, values: dict[int, np.ndarray]) -> np.ndarray:
+        """Execute the group's semantics; reads/writes the tensor-value table."""
+        members = sorted(self.group.members, key=lambda op: op.output._id)
+
+        def value_of(t):
+            if t._id in values:
+                return values[t._id]
+            if t.is_constant:
+                return t.numpy()
+            raise RuntimeError(f'tensor {t.name!r} unavailable when running {self.name!r}')
+
+        for op in members:
+            values[op.output._id] = op.run_numpy(*[value_of(t) for t in op.inputs])
+        return values[self.group.output._id]
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency * 1e6
+
+
+@dataclass
+class CompiledGraph:
+    """A fully compiled model: ordered compiled ops + accounting."""
+
+    graph: FlowGraph
+    ops: list[CompiledOp]
+    device: DeviceSpec
+    tuning_seconds: float = 0.0
+    #: executor dispatch overhead per kernel launch (framework-dependent);
+    #: compiled executors submit pre-built launch graphs, so this is small
+    dispatch_overhead: float = 0.5e-6
+    name: str = 'compiled_graph'
+
+    # -- performance ----------------------------------------------------------
+
+    @property
+    def num_kernels(self) -> int:
+        return sum(op.num_kernels for op in self.ops)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end modeled latency in seconds."""
+        return sum(op.latency for op in self.ops) + self.num_kernels * self.dispatch_overhead
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency * 1e3
+
+    def latency_breakdown(self) -> list[tuple[str, float]]:
+        """Per-op (name, seconds) pairs, slowest first."""
+        return sorted(((op.name, op.latency) for op in self.ops),
+                      key=lambda kv: -kv[1])
+
+    # -- functional execution ---------------------------------------------------
+
+    def run(self, *args: np.ndarray) -> list[np.ndarray]:
+        if len(args) != len(self.graph.inputs):
+            raise ValueError(f'{self.name} takes {len(self.graph.inputs)} inputs, '
+                             f'got {len(args)}')
+        values: dict[int, np.ndarray] = {}
+        for tensor, array in zip(self.graph.inputs, args):
+            values[tensor._id] = np.ascontiguousarray(array, dtype=tensor.dtype.np_dtype)
+        for op in self.ops:
+            op.run_numpy(values)
+
+        def value_of(t):
+            if t._id in values:
+                return values[t._id]
+            if t.is_constant:
+                return t.numpy()
+            raise RuntimeError(f'output tensor {t.name!r} was never produced')
+
+        return [value_of(t) for t in self.graph.outputs]
+
+    def summary(self) -> str:
+        lines = [f'CompiledGraph({self.name}): {len(self.ops)} fused ops, '
+                 f'{self.num_kernels} kernels, latency {self.latency_ms:.3f} ms']
+        for op in self.ops:
+            lines.append(f'  [{op.kind:16s}] {op.name:40s} {op.latency * 1e6:9.1f} us')
+        return '\n'.join(lines)

@@ -1,0 +1,203 @@
+"""Baseline systems: loop-oriented scheduling, tuners, library, frameworks."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.backend.interpreter import run_kernel
+from repro.baselines import (Ansor, AutoTVM, KernelLibrary, OnnxRuntimeLike,
+                             PyTorchLike, TensorRTLike, divisors,
+                             factor_splits_count, iter_tile_configs)
+from repro.baselines.input_space import (autotvm_conv_space_size,
+                                         resnet50_conv_workloads)
+from repro.baselines.loop_sched import (LoopSchedule, ScheduleError,
+                                        create_default_program)
+from repro.graph import from_numpy, ops, symbol, trace
+from repro.ir.compute import compute, reduce, tensor_input
+from repro.ir.task import Task
+
+RNG = np.random.default_rng(11)
+
+
+class TestLoopScheduling:
+    """Table 1: the declarative primitives."""
+
+    def _program(self):
+        a = tensor_input('A', 'float32', [128, 4])
+        out = compute('B', [128, 4], lambda i, j: a[i, j] * 2.0)
+        return create_default_program(Task('copy', [a], out))
+
+    def _check_runs(self, sched, grid_block_expected=None):
+        func = sched.lower()
+        a = RNG.standard_normal((128, 4)).astype(np.float32)
+        b = np.full((128, 4), np.nan, dtype=np.float32)
+        run_kernel(func, [a, b])
+        np.testing.assert_allclose(b, 2 * a)
+        if grid_block_expected:
+            assert (func.grid_dim, func.block_dim) == grid_block_expected
+
+    def test_default_program_runs(self):
+        self._check_runs(self._program())
+
+    def test_split(self):
+        s = self._program()
+        outer, inner = s.split('i0', 32)
+        assert outer.extent == 4 and inner.extent == 32
+        self._check_runs(s)
+
+    def test_split_requires_perfect_factor(self):
+        s = self._program()
+        with pytest.raises(ScheduleError, match='perfect tile'):
+            s.split('i0', 48)
+
+    def test_fuse_and_reorder(self):
+        s = self._program()
+        fused = s.fuse('i0', 'i1')
+        assert fused.extent == 512
+        self._check_runs(s)
+        s2 = self._program()
+        s2.reorder('i1', 'i0')
+        assert [l.name for l in s2.loops] == ['i1', 'i0']
+        self._check_runs(s2)
+
+    def test_fuse_requires_adjacent(self):
+        a = tensor_input('A', 'float32', [2, 3, 4])
+        out = compute('B', [2, 3, 4], lambda i, j, k: a[i, j, k] * 2.0)
+        s = create_default_program(Task('t', [a], out))
+        with pytest.raises(ScheduleError, match='adjacent'):
+            s.fuse('i0', 'i2')
+
+    def test_bind_to_hardware_axes(self):
+        s = self._program()
+        fused = s.fuse('i0', 'i1')
+        outer, inner = s.split(fused, 128)
+        s.bind(outer, 'blockIdx.x')
+        s.bind(inner, 'threadIdx.x')
+        self._check_runs(s, ((4, 1, 1), (128, 1, 1)))
+
+    def test_double_bind_rejected(self):
+        s = self._program()
+        s.bind('i0', 'threadIdx.x')
+        with pytest.raises(ScheduleError, match='already bound'):
+            s.bind('i1', 'threadIdx.x')
+
+    def test_reduction_default_program(self):
+        a = tensor_input('A', 'float32', [8, 16])
+        out = compute('B', [8], lambda i: reduce([16], lambda k: a[i, k]))
+        s = create_default_program(Task('sum', [a], out))
+        func = s.lower()
+        av = RNG.standard_normal((8, 16)).astype(np.float32)
+        bv = np.zeros(8, dtype=np.float32)   # reduction accumulates in-place
+        run_kernel(func, [av, bv])
+        np.testing.assert_allclose(bv, av.sum(1), rtol=1e-4, atol=1e-5)
+
+    def test_program_text_table1_shapes(self):
+        s = self._program()
+        s.split('i0', 32)
+        text = s.program_text()
+        assert 'for i0o in range(4):' in text and 'for i0i in range(32):' in text
+
+
+class TestInputCentricSpace:
+    def test_factor_splits_count(self):
+        # 512 = 2^9 into 4 ordered factors: C(12, 3)
+        assert factor_splits_count(512, 4) == math.comb(12, 3)
+        assert factor_splits_count(7, 2) == 2
+        assert factor_splits_count(1, 4) == 1
+
+    def test_divisors(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+        assert divisors(13) == (1, 13)
+
+    def test_space_size_grows_with_divisors(self):
+        workloads = {str(w): autotvm_conv_space_size(w)
+                     for w in resnet50_conv_workloads()}
+        assert max(workloads.values()) > 1e7
+        assert min(workloads.values()) > 1e4
+
+    def test_prime_extents_have_no_valid_tiles(self):
+        assert list(iter_tile_configs(2039, 2039, 2039)) == []
+        assert len(list(iter_tile_configs(2048, 2048, 2048))) > 100
+
+
+class TestTuners:
+    def test_autotvm_weak_transformer_template(self):
+        at = AutoTVM()
+        space = at.candidate_space(128, 768, 768, 'dense')
+        assert 0 < len(space) < 20           # paper: "less than 20 schedules"
+        assert all(c.tm == 1 and c.tn == 1 for c in space)
+
+    def test_autotvm_conv_space_is_rich(self):
+        at = AutoTVM()
+        assert len(at.candidate_space(196, 512, 2304, 'conv')) > 100
+
+    def test_ansor_beats_autotvm_search(self):
+        """Same space, better search: Ansor's best <= AutoTVM's best."""
+        at = AutoTVM(seed=3)
+        an = Ansor(seed=3)
+        r_at = at.tune_contraction(784, 128, 576, kind='conv', name='t')
+        r_an = an.tune_contraction(784, 128, 576, kind='conv', name='t')
+        assert r_an.best_latency <= r_at.best_latency * 1.05
+
+    def test_prime_size_fails(self):
+        at = AutoTVM()
+        result = at.tune_contraction(2039, 2039, 2039, kind='conv', name='prime')
+        assert result.failed
+
+    def test_task_results_cached(self):
+        at = AutoTVM()
+        r1 = at.tune_contraction(256, 256, 256, kind='conv', name='x')
+        t = at.clock.elapsed_seconds
+        r2 = at.tune_contraction(256, 256, 256, kind='conv', name='x')
+        assert r1 is r2 and at.clock.elapsed_seconds == t
+
+    def test_depthwise_quality_ordering(self):
+        """Ansor's depthwise sketch > AutoTVM's template (paper Fig. 16)."""
+        x = symbol([1, 32, 56, 56])
+        w = from_numpy(RNG.standard_normal((32, 1, 3, 3)).astype(np.float32))
+        g = trace(ops.conv2d(x, w, padding=1, groups=32))
+        r_ansor = Ansor().compile(g)
+        r_autotvm = AutoTVM().compile(g)
+        assert r_ansor.latency < r_autotvm.latency
+
+
+class TestLibraryAndFrameworks:
+    def test_gemm_tile_pick_prefers_occupancy(self):
+        lib = KernelLibrary()
+        big = lib.pick_gemm_tile(4096, 4096, 1024)
+        small = lib.pick_gemm_tile(128, 768, 768)
+        assert big.bm * big.bn > small.bm * small.bn
+
+    def test_framework_ordering_on_cnn(self):
+        """ORT (fused, low overhead) < PyTorch (eager) on the same graph."""
+        x = symbol([1, 16, 28, 28])
+        w = from_numpy(RNG.standard_normal((32, 16, 3, 3)).astype(np.float32))
+        s = from_numpy(RNG.standard_normal((32, 1, 1)).astype(np.float32))
+        b = from_numpy(RNG.standard_normal((32, 1, 1)).astype(np.float32))
+        g = trace(ops.relu(ops.batch_norm(ops.conv2d(x, w, padding=1), s, b)))
+        pt = PyTorchLike().compile(g)
+        ort = OnnxRuntimeLike().compile(g)
+        assert ort.latency < pt.latency
+        assert ort.num_kernels < pt.num_kernels
+
+    def test_pytorch_views_are_free(self):
+        x = symbol([4, 6])
+        g = trace(ops.transpose(x, [1, 0]))
+        report = PyTorchLike().compile(g)
+        assert report.num_kernels == 0
+
+    def test_tensorrt_fuses_attention(self):
+        from repro.models.bert import transformer_encoder_layer
+        from repro.models.common import WeightFactory
+        wf = WeightFactory(5)
+        x = symbol([128, 768])
+        g = trace(transformer_encoder_layer(wf, x, 768, 12, 3072, name='L'))
+        trt = TensorRTLike().compile(g)
+        ort = OnnxRuntimeLike().compile(g)
+        assert any('fused_attention' in name for name, _ in trt.kernel_latencies)
+        assert trt.latency < ort.latency
+
+    def test_report_row_formatting(self):
+        x = symbol([4])
+        report = PyTorchLike().compile(trace(ops.relu(x)))
+        assert 'pytorch' in report.row()

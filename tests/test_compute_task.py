@@ -1,0 +1,113 @@
+"""Computation definitions and tasks (fusion classification, inverse maps)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.compute import GridCompute, ReduceCompute, compute, reduce, tensor_input
+from repro.ir.passes.simplify import const_int, simplify
+from repro.ir.task import InverseMap, Task, identity_inverse_map
+from repro.ir.tools import substitute
+
+
+class TestComputeDSL:
+    def test_grid_compute_shape_and_axes(self):
+        a = tensor_input('A', 'float32', [4, 8])
+        c = compute('C', [4, 8], lambda i, j: a[i, j] * 2.0)
+        assert isinstance(c, GridCompute)
+        assert c.shape == (4, 8) and len(c.axes) == 2
+        assert c.is_injective
+        assert c.dtype.name == 'float32'
+
+    def test_reduce_compute(self):
+        a = tensor_input('A', 'float32', [4, 8])
+        c = compute('C', [4], lambda i: reduce([8], lambda k: a[i, k]))
+        assert not c.is_injective
+        node = c.value
+        assert isinstance(node, ReduceCompute)
+        assert node.num_iterations == 8 and node.init_value == 0.0
+
+    def test_reduce_op_validation(self):
+        with pytest.raises(ValueError):
+            reduce([4], lambda k: k, op='prod')
+
+    def test_reduce_init_values(self):
+        assert reduce([2], lambda k: k, op='max').init_value == -np.inf
+        assert reduce([2], lambda k: k, op='min').init_value == np.inf
+
+    def test_axes_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GridCompute('C', [4, 4], axes=(), value=tensor_input('A', 'float32', [1])[0])
+
+
+class TestTaskClassification:
+    def test_elementwise_is_bijective(self):
+        a = tensor_input('A', 'float32', [8])
+        task = Task('relu', [a], compute('B', [8], lambda i: a[i]),
+                    inverse_maps={a: identity_inverse_map(1)})
+        assert task.is_injective and task.is_bijective
+
+    def test_injective_without_inverse_map_not_bijective(self):
+        a = tensor_input('A', 'float32', [8])
+        task = Task('gather', [a], compute('B', [4], lambda i: a[i * 2]))
+        assert task.is_injective and not task.is_bijective
+
+    def test_reduction_is_neither(self):
+        a = tensor_input('A', 'float32', [4, 8])
+        task = Task('sum', [a],
+                    compute('B', [4], lambda i: reduce([8], lambda k: a[i, k])))
+        assert not task.is_injective and not task.is_bijective
+
+    def test_missing_inverse_map_raises(self):
+        a = tensor_input('A', 'float32', [4])
+        task = Task('t', [a], compute('B', [4], lambda i: a[i]))
+        with pytest.raises(KeyError):
+            task.inverse_map_of(a)
+
+
+class TestInverseMaps:
+    def test_identity(self):
+        im = identity_inverse_map(2)
+        out = im.apply([3, 4])
+        assert [const_int(simplify(i)) for i in out] == [3, 4]
+
+    def test_apply_arity_checked(self):
+        with pytest.raises(ValueError):
+            identity_inverse_map(2).apply([1])
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_reshape_inverse_roundtrip(self, flat):
+        """reshape [100] -> [4, 25]: inverse(forward(x)) == x elementwise."""
+        im = InverseMap.from_lambda(lambda x: [x // 25, x % 25], 1)
+        i, j = (const_int(simplify(e)) for e in im.apply([flat]))
+        assert i * 25 + j == flat
+
+    @given(st.integers(0, 3), st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_operator_inverse_maps_consistent(self, i, j):
+        """For each bijective op: out[inverse(idx)] is where in[idx] lands."""
+        from repro.graph import ops, symbol
+        x = symbol([4, 5], name='x')
+        for build in (lambda: ops.transpose(x, [1, 0]).producer,
+                      lambda: ops.reshape(x, [20]).producer,
+                      lambda: ops.relu(x).producer):
+            op = build()
+            task = op.task
+            inp = task.inputs[0]
+            inverse = task.inverse_map_of(inp)
+            out_idx = [const_int(simplify(e)) for e in inverse.apply([i, j])]
+            # forward access: substitute the output axes with out_idx and
+            # confirm the op reads exactly in[i, j]
+            mapping = dict(zip(task.output.axes, [simplify(_c(v)) for v in out_idx]))
+            value = simplify(substitute(task.output.value, mapping))
+            from repro.ir.expr import TensorElement
+            from repro.ir.functor import collect
+            accesses = [e for e in collect(value, TensorElement) if e.base is inp]
+            assert len(accesses) == 1
+            got = [const_int(simplify(e)) for e in accesses[0].indices]
+            assert got == [i, j]
+
+
+def _c(v):
+    from repro.ir.expr import Constant
+    return Constant(v, 'int32')

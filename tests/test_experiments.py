@@ -1,0 +1,63 @@
+"""Experiment modules: shapes of the reproduced results (fast subsets)."""
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (geomean, run_conv_bn_relu, run_input_sensitivity,
+                               run_space_sizes)
+from repro.experiments.input_sensitivity import SensitivityRow
+from repro.experiments.schedule_dist import run_schedule_distribution
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-12
+
+    def test_ignores_nonfinite(self):
+        assert abs(geomean([2.0, math.inf, 2.0]) - 2.0) < 1e-12
+        assert math.isnan(geomean([]))
+
+
+class TestFig7:
+    def test_53_layers_and_magnitudes(self):
+        rows = run_space_sizes()
+        per_layer = [r.autotvm_size for r in rows for _ in range(r.workload.count)]
+        assert len(per_layer) == 53
+        gm = geomean(per_layer)
+        assert 1e6 < gm < 2e7              # paper: 3.6e6
+        assert max(per_layer) > 1e7
+
+
+class TestFig19:
+    def test_prime_failure_and_hidet_stability(self):
+        # 1031 is prime and exceeds the 1024-thread block limit, so no
+        # degenerate 1-wide tile can rescue the input-centric tuners
+        rows = run_input_sensitivity(sizes=(1024, 1031))
+        by_size = {r.size: r for r in rows}
+        assert math.isfinite(by_size[1024].autotvm_ms)
+        assert not math.isfinite(by_size[1031].autotvm_ms)
+        assert not math.isfinite(by_size[1031].ansor_ms)
+        assert math.isfinite(by_size[1031].hidet_ms)
+        ratio = by_size[1031].hidet_ms / by_size[1024].hidet_ms
+        assert 0.8 < ratio < 1.3
+
+
+class TestFig18:
+    def test_distribution_shape(self):
+        result = run_schedule_distribution()
+        summary = result.summary(73.0)
+        assert summary['hidet_below'] > 0.5
+        assert summary['autotvm_below'] < summary['hidet_below']
+        # loop-oriented samples have a heavy tail (paper: up to ~800us)
+        finite = [l for l in result.autotvm_latencies_us if np.isfinite(l)]
+        assert np.percentile(finite, 95) > 300
+
+
+class TestFig21Subset:
+    def test_hidet_wins_most_conv_bn_relu(self):
+        from repro.baselines.input_space import resnet50_conv_workloads
+        subset = resnet50_conv_workloads()[:6]
+        rows = run_conv_bn_relu(workloads=subset)
+        wins = sum(r.winner == 'hidet' for r in rows)
+        assert wins >= len(rows) // 2

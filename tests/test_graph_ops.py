@@ -1,0 +1,225 @@
+"""Operator zoo: numpy semantics, shape inference, fusion classification."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Tensor, from_numpy, ops, symbol, trace
+
+RNG = np.random.default_rng(42)
+
+
+def _sym(shape):
+    return symbol(shape), RNG.standard_normal(shape).astype(np.float32)
+
+
+def _check(out_tensor, inputs_np, reference):
+    graph = trace(out_tensor)
+    got = graph.run(*inputs_np)[0]
+    np.testing.assert_allclose(got, reference, rtol=1e-4, atol=1e-5)
+    return graph
+
+
+class TestArithmetic:
+    def test_binary_same_shape(self):
+        x, xv = _sym([3, 4])
+        y, yv = _sym([3, 4])
+        _check(ops.add(x, y), [xv, yv], xv + yv)
+        _check(ops.sub(x, y), [xv, yv], xv - yv)
+        _check(ops.mul(x, y), [xv, yv], xv * yv)
+
+    def test_broadcasting(self):
+        x, xv = _sym([2, 3, 4])
+        bias = from_numpy(RNG.standard_normal((4,)).astype(np.float32))
+        _check(ops.add(x, bias), [xv], xv + bias.numpy())
+        nchw, nchw_v = _sym([2, 3, 4, 4])
+        chan = from_numpy(RNG.standard_normal((3, 1, 1)).astype(np.float32))
+        _check(ops.mul(nchw, chan), [nchw_v], nchw_v * chan.numpy())
+
+    def test_broadcast_shape_error(self):
+        with pytest.raises(ValueError):
+            ops.add(symbol([3, 4]), symbol([5, 4]))
+
+    def test_bijectivity_per_input(self):
+        x = symbol([3, 4])
+        bias = from_numpy(np.zeros((4,), dtype=np.float32))
+        op = ops.add(x, bias).producer
+        task = op.task
+        assert task.inputs[0] in task.inverse_maps       # full-shape input
+        assert task.inputs[1] not in task.inverse_maps   # broadcast input
+
+    @pytest.mark.parametrize('fn,ref', [
+        (ops.relu, lambda a: np.maximum(a, 0)),
+        (ops.relu6, lambda a: np.clip(a, 0, 6)),
+        (ops.exp, np.exp),
+        (ops.tanh, np.tanh),
+        (ops.sigmoid, lambda a: 1 / (1 + np.exp(-a))),
+        (ops.negate, np.negative),
+    ])
+    def test_unary(self, fn, ref):
+        x, xv = _sym([5, 6])
+        _check(fn(x), [xv], ref(xv))
+
+    def test_gelu_matches_erf_formula(self):
+        from scipy.special import erf
+        x, xv = _sym([64])
+        _check(ops.gelu(x), [xv], 0.5 * xv * (1 + erf(xv / np.sqrt(2))))
+
+    def test_operator_sugar(self):
+        x, xv = _sym([4])
+        y, yv = _sym([4])
+        _check(x + y, [xv, yv], xv + yv)
+        _check(x * 2.0, [xv], xv * 2.0)
+
+
+class TestMatmulOps:
+    def test_matmul(self):
+        a, av = _sym([5, 7])
+        b, bv = _sym([7, 3])
+        _check(ops.matmul(a, b), [av, bv], av @ bv)
+
+    def test_batch_matmul(self):
+        a, av = _sym([2, 5, 7])
+        b, bv = _sym([2, 7, 3])
+        _check(ops.batch_matmul(a, b), [av, bv], av @ bv)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.matmul(symbol([4, 5]), symbol([6, 7]))
+
+    def test_anchor_priority(self):
+        a = ops.matmul(symbol([4, 4]), symbol([4, 4])).producer
+        assert a.anchor_priority > 0 and not a.is_injective
+
+
+class TestTransforms:
+    def test_reshape_and_infer_minus_one(self):
+        x, xv = _sym([4, 6])
+        _check(ops.reshape(x, [2, -1]), [xv], xv.reshape(2, 12))
+        with pytest.raises(ValueError):
+            ops.reshape(x, [5, 5])
+
+    def test_transpose(self):
+        x, xv = _sym([2, 3, 4])
+        _check(ops.transpose(x, [2, 0, 1]), [xv], xv.transpose(2, 0, 1))
+        with pytest.raises(ValueError):
+            ops.transpose(x, [0, 0, 1])
+
+    def test_concat(self):
+        x, xv = _sym([2, 3])
+        y, yv = _sym([2, 5])
+        _check(ops.concat([x, y], axis=1), [xv, yv], np.concatenate([xv, yv], 1))
+
+    def test_pad(self):
+        x, xv = _sym([1, 2, 4, 4])
+        _check(ops.pad(x, (1, 2)), [xv],
+               np.pad(xv, [(0, 0), (0, 0), (1, 1), (2, 2)]))
+
+    def test_flatten(self):
+        x, xv = _sym([2, 3, 4])
+        _check(ops.flatten(x), [xv], xv.reshape(2, 12))
+
+    def test_transforms_are_bijective(self):
+        x = symbol([4, 6])
+        assert ops.reshape(x, [24]).producer.is_bijective
+        assert ops.transpose(x, [1, 0]).producer.is_bijective
+
+
+class TestConvAndPool:
+    @pytest.mark.parametrize('stride,padding', [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d_against_direct_sum(self, stride, padding):
+        x, xv = _sym([2, 3, 8, 8])
+        w = from_numpy(RNG.standard_normal((4, 3, 3, 3)).astype(np.float32) * 0.2)
+        graph = trace(ops.conv2d(x, w, stride=stride, padding=padding))
+        got = graph.run(xv)[0]
+        # brute-force reference
+        ph = padding
+        padded = np.pad(xv, [(0, 0), (0, 0), (ph, ph), (ph, ph)])
+        n, _, oh, ow = got.shape
+        ref = np.zeros_like(got)
+        for i in range(oh):
+            for j in range(ow):
+                patch = padded[:, :, i * stride:i * stride + 3, j * stride:j * stride + 3]
+                ref[:, :, i, j] = np.einsum('ncij,ocij->no', patch, w.numpy())
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-4)
+
+    def test_depthwise_conv(self):
+        x, xv = _sym([1, 4, 6, 6])
+        w = from_numpy(RNG.standard_normal((4, 1, 3, 3)).astype(np.float32))
+        op = ops.conv2d(x, w, stride=1, padding=1, groups=4).producer
+        assert op.is_depthwise
+        got = trace(op.output).run(xv)[0]
+        for c in range(4):
+            single = np.pad(xv[0, c], 1)
+            ref = np.zeros((6, 6), dtype=np.float32)
+            for i in range(6):
+                for j in range(6):
+                    ref[i, j] = (single[i:i + 3, j:j + 3] * w.numpy()[c, 0]).sum()
+            np.testing.assert_allclose(got[0, c], ref, rtol=1e-4, atol=1e-4)
+
+    def test_rectangular_kernel(self):
+        x, xv = _sym([1, 2, 6, 6])
+        w = from_numpy(RNG.standard_normal((3, 2, 1, 7)).astype(np.float32))
+        out = ops.conv2d(x, w, stride=1, padding=(0, 3))
+        assert out.shape == (1, 3, 6, 6)
+        trace(out).run(xv)   # must execute
+
+    def test_img2col_matches_manual(self):
+        from repro.graph.ops.conv import Im2colOp
+        x, xv = _sym([1, 2, 5, 5])
+        op = Im2colOp(x, (3, 3), 1, 1, (5, 5))
+        got = trace(op.output).run(xv)[0]
+        assert got.shape == (25, 18)
+
+    def test_pools(self):
+        x, xv = _sym([1, 2, 8, 8])
+        _check(ops.max_pool2d(x, 2, 2), [xv],
+               xv.reshape(1, 2, 4, 2, 4, 2).max(axis=(3, 5)))
+        _check(ops.global_avg_pool(x), [xv], xv.mean(axis=(2, 3)))
+
+    def test_conv_not_injective(self):
+        x = symbol([1, 2, 4, 4])
+        w = from_numpy(np.zeros((2, 2, 3, 3), dtype=np.float32))
+        assert not ops.conv2d(x, w, padding=1).producer.is_injective
+
+
+class TestReduceNormsEmbedding:
+    def test_reduce_ops(self):
+        x, xv = _sym([4, 9])
+        _check(ops.reduce_sum(x), [xv], xv.sum(-1, keepdims=True))
+        _check(ops.reduce_max(x, keepdims=False), [xv], xv.max(-1))
+        _check(ops.reduce_mean(x), [xv], xv.mean(-1, keepdims=True))
+
+    def test_softmax(self):
+        x, xv = _sym([5, 11])
+        e = np.exp(xv - xv.max(-1, keepdims=True))
+        _check(ops.softmax(x), [xv], e / e.sum(-1, keepdims=True))
+
+    def test_layer_norm(self):
+        x, xv = _sym([6, 16])
+        gamma = from_numpy(np.ones(16, dtype=np.float32))
+        beta = from_numpy(np.zeros(16, dtype=np.float32))
+        mean = xv.mean(-1, keepdims=True)
+        var = ((xv - mean) ** 2).mean(-1, keepdims=True)
+        _check(ops.layer_norm(x, gamma, beta), [xv],
+               (xv - mean) / np.sqrt(var + 1e-5))
+
+    def test_batch_norm_folding(self):
+        from repro.graph.ops.norms import batch_norm_inference_params
+        w = np.abs(RNG.standard_normal(4).astype(np.float32)) + 0.5
+        b = RNG.standard_normal(4).astype(np.float32)
+        mean = RNG.standard_normal(4).astype(np.float32)
+        var = np.abs(RNG.standard_normal(4).astype(np.float32)) + 0.5
+        scale, shift = batch_norm_inference_params(w, b, mean, var)
+        x, xv = _sym([1, 4, 3, 3])
+        out = ops.batch_norm(x, from_numpy(scale.reshape(4, 1, 1)),
+                             from_numpy(shift.reshape(4, 1, 1)))
+        ref = (xv - mean.reshape(4, 1, 1)) / np.sqrt(var.reshape(4, 1, 1) + 1e-5) \
+            * w.reshape(4, 1, 1) + b.reshape(4, 1, 1)
+        _check(out, [xv], ref)
+
+    def test_embedding(self):
+        table = from_numpy(RNG.standard_normal((10, 4)).astype(np.float32))
+        ids = symbol([6], dtype='int32')
+        ids_np = RNG.integers(0, 10, size=6).astype(np.int32)
+        _check(ops.embedding(table, ids), [ids_np], table.numpy()[ids_np])
+        assert ops.embedding(table, ids).producer.is_injective

@@ -1,0 +1,142 @@
+"""Graph passes: constant folding, conv lowering, fusion partition."""
+import numpy as np
+import pytest
+
+from repro.graph import from_numpy, ops, symbol, trace
+from repro.graph.ops.conv import Conv2dOp, Im2colOp
+from repro.graph.ops.matmul import MatmulOp
+from repro.graph.passes import (build_group_spec, fold_constants,
+                                lower_conv_to_gemm, partition_graph)
+
+RNG = np.random.default_rng(0)
+
+
+def _conv_bn_relu_graph():
+    x = symbol([1, 8, 10, 10], name='x')
+    w = from_numpy(RNG.standard_normal((16, 8, 3, 3)).astype(np.float32) * 0.1)
+    scale = from_numpy(RNG.standard_normal((16, 1, 1)).astype(np.float32))
+    shift = from_numpy(RNG.standard_normal((16, 1, 1)).astype(np.float32))
+    y = ops.relu(ops.batch_norm(ops.conv2d(x, w, padding=1), scale, shift))
+    return trace(y, name='cbr'), x
+
+
+class TestFoldConstants:
+    def test_constant_subtree_evaluated(self):
+        a = from_numpy(np.ones((4,), dtype=np.float32))
+        b = from_numpy(np.full((4,), 2.0, dtype=np.float32))
+        x = symbol([4])
+        y = ops.add(x, ops.mul(a, b))
+        folded = fold_constants(trace(y))
+        assert folded.num_operators == 1          # only the add survives
+        got = folded.run(np.zeros(4, dtype=np.float32))[0]
+        np.testing.assert_allclose(got, 2.0)
+
+    def test_noop_when_nothing_constant(self):
+        x = symbol([4])
+        g = trace(ops.relu(x))
+        assert fold_constants(g).num_operators == g.num_operators
+
+
+class TestLowerConv:
+    def test_decomposition_structure(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = lower_conv_to_gemm(g)
+        kinds = [type(op).__name__ for op in lowered.nodes]
+        assert 'Conv2dOp' not in kinds
+        assert 'Im2colOp' in kinds and 'MatmulOp' in kinds
+
+    def test_functional_equivalence(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        x = RNG.standard_normal((1, 8, 10, 10)).astype(np.float32)
+        np.testing.assert_allclose(lowered.run(x)[0], g.run(x)[0],
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_depthwise_not_lowered(self):
+        x = symbol([1, 8, 10, 10])
+        w = from_numpy(np.zeros((8, 1, 3, 3), dtype=np.float32))
+        g = trace(ops.conv2d(x, w, padding=1, groups=8))
+        lowered = lower_conv_to_gemm(g)
+        assert any(isinstance(op, Conv2dOp) for op in lowered.nodes)
+
+
+class TestPartition:
+    def test_conv_bn_relu_collapses_to_one_group(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        groups = partition_graph(lowered)
+        assert len(groups) == 1
+        (group,) = groups
+        assert isinstance(group.anchor, MatmulOp)
+        assert any(isinstance(p, Im2colOp) for p in group.prologue_ops)
+        # epilogues: reshape, transpose, bn mul, bn add, relu
+        assert len(group.epilogue_ops) == 5
+        assert group.output.shape == (1, 16, 10, 10)
+
+    def test_every_op_placed_or_duplicated_prologue(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        groups = partition_graph(lowered)
+        placed = set()
+        for grp in groups:
+            placed.update(id(op) for op in grp.members)
+        assert all(id(op) in placed for op in lowered.nodes)
+
+    def test_duplication_of_multi_consumer_injective(self):
+        """softmax: exp feeds both sum and div; it fuses into both (§4.2)."""
+        x = symbol([4, 64])
+        g = trace(ops.softmax(x))
+        groups = partition_graph(g)
+        exp_hosts = [grp for grp in groups
+                     if any(op.name == 'exp' for op in grp.prologue_ops)]
+        assert len(exp_hosts) == 2
+        # exp produces no kernel of its own
+        assert not any(grp.anchor.name == 'exp' for grp in groups)
+
+    def test_group_output_respects_graph_outputs(self):
+        x = symbol([8])
+        mid = ops.relu(x)
+        out = ops.exp(mid)
+        g = trace([mid, out])            # mid is itself a graph output
+        groups = partition_graph(g)
+        outputs = {grp.output._id for grp in groups}
+        assert mid._id in outputs and out._id in outputs
+
+    def test_reduce_takes_injective_prologue(self):
+        x = symbol([4, 128])
+        g = trace(ops.reduce_sum(ops.exp(x)))
+        groups = partition_graph(g)
+        assert len(groups) == 1
+        assert groups[0].prologue_ops[0].name == 'exp'
+
+    def test_topological_group_order(self):
+        g, _ = _conv_bn_relu_graph()
+        y = g.outputs[0]
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        groups = partition_graph(lowered)
+        produced = set()
+        for grp in groups:
+            for t in grp.input_tensors():
+                if t.producer is not None:
+                    assert t._id in produced or not any(
+                        grp2.contains(t.producer) for grp2 in groups)
+            produced.add(grp.output._id)
+
+
+class TestGroupSpec:
+    def test_spec_binding_covers_all_outer_inputs(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        (group,) = partition_graph(lowered)
+        spec = build_group_spec(group)
+        for ti in spec.spec.outer_inputs():
+            assert ti in spec.tensor_of
+            assert spec.tensor_of[ti].shape == ti.shape
+
+    def test_spec_names_unique(self):
+        g, _ = _conv_bn_relu_graph()
+        lowered = fold_constants(lower_conv_to_gemm(g))
+        (group,) = partition_graph(lowered)
+        spec = build_group_spec(group)
+        names = [ti.name for ti in spec.spec.outer_inputs()]
+        assert len(names) == len(set(names))

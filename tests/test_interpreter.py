@@ -1,0 +1,163 @@
+"""The functional executor: thread-block semantics, barriers, predication."""
+import numpy as np
+import pytest
+
+from repro.backend.interpreter import InterpreterError, KernelInterpreter, run_kernel
+from repro.ir import (FunctionBuilder, block_idx, f32, if_then_else, thread_idx)
+from repro.ir.primitives import atomic_add, fma
+
+
+class TestBasicExecution:
+    def test_elementwise_kernel(self):
+        fb = FunctionBuilder('scale', grid_dim=2, block_dim=4)
+        a = fb.tensor_param('A', f32, [8])
+        b = fb.tensor_param('B', f32, [8])
+        i = block_idx() * 4 + thread_idx()
+        fb.store(b, [i], a[i] * 2.0)
+        a_np = np.arange(8, dtype=np.float32)
+        b_np = np.full(8, np.nan, dtype=np.float32)
+        run_kernel(fb.finish(), [a_np, b_np])
+        assert np.allclose(b_np, a_np * 2)
+
+    def test_scalar_arguments(self):
+        fb = FunctionBuilder('addc', grid_dim=1, block_dim=4)
+        a = fb.tensor_param('A', f32, [4])
+        c = fb.scalar_param('c', 'float32')
+        fb.store(a, [thread_idx()], a[thread_idx()] + c)
+        a_np = np.zeros(4, dtype=np.float32)
+        run_kernel(fb.finish(), [a_np, 2.5])
+        assert np.allclose(a_np, 2.5)
+
+    def test_shape_mismatch_rejected(self):
+        fb = FunctionBuilder('k', block_dim=1)
+        a = fb.tensor_param('A', f32, [4])
+        fb.store(a, [0], 0.0)
+        with pytest.raises(InterpreterError, match='shape'):
+            run_kernel(fb.finish(), [np.zeros(5, dtype=np.float32)])
+
+    def test_wrong_arity_rejected(self):
+        fb = FunctionBuilder('k', block_dim=1)
+        fb.tensor_param('A', f32, [1])
+        fb.store(fb.params[0], [0], 0.0)
+        with pytest.raises(InterpreterError, match='arguments'):
+            run_kernel(fb.finish(), [])
+
+    def test_grid_limit(self):
+        fb = FunctionBuilder('k', grid_dim=10_000, block_dim=1)
+        a = fb.tensor_param('A', f32, [1])
+        fb.store(a, [0], 1.0)
+        with pytest.raises(InterpreterError, match='exceeds interpreter limit'):
+            run_kernel(fb.finish(), [np.zeros(1, dtype=np.float32)], max_blocks=100)
+
+
+class TestBarrierSemantics:
+    def test_cross_thread_communication_through_smem(self):
+        """Thread t reads what thread (t+1)%n wrote — only valid with a barrier."""
+        n = 8
+        fb = FunctionBuilder('rotate', grid_dim=1, block_dim=n)
+        a = fb.tensor_param('A', f32, [n])
+        b = fb.tensor_param('B', f32, [n])
+        smem = fb.shared_tensor('buf', f32, [n])
+        t = thread_idx()
+        fb.store(smem, [t], a[t])
+        fb.sync()
+        fb.store(b, [t], smem[(t + 1) % n])
+        a_np = np.arange(n, dtype=np.float32)
+        b_np = np.full(n, np.nan, dtype=np.float32)
+        run_kernel(fb.finish(), [a_np, b_np])
+        assert np.allclose(b_np, np.roll(a_np, -1))
+
+    def test_double_buffer_style_pipeline(self):
+        """Two smem buffers alternate across barriered iterations."""
+        n, iters = 4, 6
+        fb = FunctionBuilder('pipeline', grid_dim=1, block_dim=n)
+        a = fb.tensor_param('A', f32, [iters, n])
+        out = fb.tensor_param('out', f32, [iters, n])
+        smem = fb.shared_tensor('buf', f32, [2, n])
+        t = thread_idx()
+        fb.store(smem, [0, t], a[0, t])
+        fb.sync()
+        with fb.for_range(iters - 1, name='k') as k:
+            # consume buffer k%2 written in the previous step, shifted by one
+            fb.store(out, [k, t], smem[k % 2, (t + 1) % n])
+            fb.store(smem, [(k + 1) % 2, t], a[k + 1, t])
+            fb.sync()
+        fb.store(out, [iters - 1, t], smem[(iters - 1) % 2, (t + 1) % n])
+        a_np = np.arange(iters * n, dtype=np.float32).reshape(iters, n)
+        out_np = np.full((iters, n), np.nan, dtype=np.float32)
+        run_kernel(fb.finish(), [a_np, out_np])
+        assert np.allclose(out_np, np.roll(a_np, -1, axis=1))
+
+    def test_barrier_divergence_detected(self):
+        fb = FunctionBuilder('bad', grid_dim=1, block_dim=4)
+        a = fb.tensor_param('A', f32, [4])
+        with fb.for_range(1, name='dummy'):
+            pass
+        # hand-construct divergence: threads 0..1 sync, 2..3 do not
+        from repro.ir.stmt import BarrierStmt, IfStmt
+        fb.append(IfStmt(thread_idx() < 2, BarrierStmt()))
+        fb.store(a, [thread_idx()], 0.0)
+        with pytest.raises(InterpreterError, match='barrier divergence'):
+            run_kernel(fb.finish(), [np.zeros(4, dtype=np.float32)])
+
+    def test_uninitialized_shared_reads_are_nan(self):
+        fb = FunctionBuilder('oops', grid_dim=1, block_dim=1)
+        out = fb.tensor_param('out', f32, [1])
+        smem = fb.shared_tensor('buf', f32, [4])
+        fb.store(out, [0], smem[2])
+        out_np = np.zeros(1, dtype=np.float32)
+        run_kernel(fb.finish(), [out_np])
+        assert np.isnan(out_np[0])
+
+
+class TestPredicationAndPrimitives:
+    def test_lazy_select_guards_out_of_bounds(self):
+        """if_then_else must not evaluate the untaken branch (like hardware)."""
+        fb = FunctionBuilder('guarded', grid_dim=1, block_dim=8)
+        a = fb.tensor_param('A', f32, [5])
+        b = fb.tensor_param('B', f32, [8])
+        t = thread_idx()
+        fb.store(b, [t], if_then_else(t < 5, a[t], 0.0))
+        a_np = np.arange(5, dtype=np.float32)
+        b_np = np.full(8, np.nan, dtype=np.float32)
+        run_kernel(fb.finish(), [a_np, b_np])   # would IndexError if eager
+        assert np.allclose(b_np, np.concatenate([a_np, np.zeros(3)]))
+
+    def test_short_circuit_logical_and(self):
+        fb = FunctionBuilder('sc', grid_dim=1, block_dim=4)
+        a = fb.tensor_param('A', f32, [2])
+        b = fb.tensor_param('B', f32, [4])
+        from repro.ir import logical_and
+        t = thread_idx()
+        cond = logical_and(t < 2, a[t] > 0.0)   # a[t] must not evaluate for t >= 2
+        fb.store(b, [t], if_then_else(cond, 1.0, 0.0))
+        run_kernel(fb.finish(), [np.ones(2, dtype=np.float32),
+                                 np.zeros(4, dtype=np.float32)])
+
+    def test_atomic_add(self):
+        fb = FunctionBuilder('atomic', grid_dim=4, block_dim=32)
+        acc = fb.tensor_param('acc', f32, [1])
+        fb.evaluate(atomic_add(acc, [0], 1.0))
+        acc_np = np.zeros(1, dtype=np.float32)
+        run_kernel(fb.finish(), [acc_np])
+        assert acc_np[0] == 128.0
+
+    def test_fma_primitive(self):
+        fb = FunctionBuilder('fma', grid_dim=1, block_dim=1)
+        out = fb.tensor_param('out', f32, [1])
+        fb.store(out, [0], fma(2.0, 3.0, 4.0))
+        out_np = np.zeros(1, dtype=np.float32)
+        run_kernel(fb.finish(), [out_np])
+        assert out_np[0] == 10.0
+
+    def test_registers_are_thread_private(self):
+        fb = FunctionBuilder('private', grid_dim=1, block_dim=4)
+        out = fb.tensor_param('out', f32, [4])
+        regs = fb.register_tensor('r', f32, [1])
+        t = thread_idx()
+        fb.store(regs, [0], 1.0 * t)
+        fb.sync()
+        fb.store(out, [t], regs[0])
+        out_np = np.full(4, np.nan, dtype=np.float32)
+        run_kernel(fb.finish(), [out_np])
+        assert np.allclose(out_np, [0, 1, 2, 3])

@@ -1,0 +1,167 @@
+"""IR construction: types, expressions, statements, builders, printing."""
+import pytest
+
+from repro.ir import (BinaryExpr, Constant, DataType, FunctionBuilder, IfStmt,
+                      MemoryScope, TensorType, UnaryExpr, Var, boolean, cast,
+                      const, convert, f16, f32, i32, if_then_else, logical_and,
+                      logical_not, logical_or, max_expr, min_expr, seq_stmt,
+                      stmt_repr, substitute, tensor_type, tensor_var, thread_idx,
+                      var)
+from repro.ir.stmt import BufferStoreStmt, SeqStmt
+from repro.ir.tools import free_vars
+
+
+class TestTypes:
+    def test_dtype_registry(self):
+        assert DataType.from_name('float32') is f32
+        assert DataType.from_name('f16') is f16
+        with pytest.raises(ValueError):
+            DataType.from_name('float8')
+
+    def test_dtype_cast_py(self):
+        assert f32.cast_py(1) == 1.0
+        assert i32.cast_py(3.7) == 3
+        assert boolean.cast_py(2) is True
+
+    def test_tensor_type(self):
+        t = tensor_type('float32', [4, 8], MemoryScope.SHARED)
+        assert t.num_elements == 32 and t.nbytes == 128 and t.rank == 2
+        assert t.with_scope('global').scope == 'global'
+        with pytest.raises(ValueError):
+            TensorType('float32', [4], scope='texture')
+        with pytest.raises(ValueError):
+            TensorType('float32', [-1])
+
+    def test_tensor_type_equality(self):
+        assert tensor_type(f32, [2]) == tensor_type('float32', [2])
+        assert tensor_type(f32, [2]) != tensor_type(f32, [2], 'shared')
+
+
+class TestExpressions:
+    def test_operator_overloads_build_tree(self):
+        x, y = var('x'), var('y')
+        e = (x + 1) * y - x // 2
+        assert isinstance(e, BinaryExpr) and e.op == '-'
+        assert repr(e) == '(x + 1) * y - x // 2'
+
+    def test_comparison_and_reflection(self):
+        x = var('x')
+        assert repr(x < 3) == 'x < 3'
+        assert repr(3 < x) == 'x < 3' or '3 < x' in repr(3 < x)
+        # int <= Expr reflects into Expr.__ge__
+        e = 0 <= x
+        assert isinstance(e, BinaryExpr) and e.op == '<='
+
+    def test_no_python_truth_value(self):
+        x = var('x')
+        with pytest.raises(TypeError):
+            bool(x < 3)
+
+    def test_convert_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            convert('hello')
+
+    def test_constants_cast_to_dtype(self):
+        assert const(True).dtype is boolean
+        assert const(2).dtype is i32
+        assert const(0.5).dtype is f32
+
+    def test_logical_builders(self):
+        x = var('x')
+        e = logical_and(x < 3, 0 <= x, True)
+        assert repr(e).count('&&') == 2
+        assert repr(logical_or(x < 1, x < 2)).count('||') == 1
+        assert repr(logical_not(x < 1)) == '!(x < 1)'
+
+    def test_min_max_if_then_else(self):
+        x = var('x')
+        assert repr(min_expr(x, 0)) == 'min(x, 0)'
+        assert repr(max_expr(x, 0)) == 'max(x, 0)'
+        assert '?' in repr(if_then_else(x < 1, 1.0, 0.0))
+
+    def test_tensor_indexing(self):
+        a = tensor_var('A', f32, [4, 4])
+        assert repr(a[1, 2]) == 'A[1, 2]'
+        assert repr(cast(a[0, 0], 'int32')) == 'i32(A[0, 0])'
+
+    def test_unary_validation(self):
+        with pytest.raises(ValueError):
+            UnaryExpr('cosh', var('x'))
+        with pytest.raises(ValueError):
+            BinaryExpr('**', var('x'), var('y'))
+
+
+class TestStatementsAndBuilder:
+    def test_seq_stmt_flattens(self):
+        a = tensor_var('A', f32, [2])
+        s1 = BufferStoreStmt(a, [0], const(1.0))
+        s2 = BufferStoreStmt(a, [1], const(2.0))
+        nested = seq_stmt([s1, SeqStmt([s2])])
+        assert isinstance(nested, SeqStmt) and len(nested.stmts) == 2
+        assert seq_stmt([s1]) is s1
+
+    def test_builder_produces_function(self):
+        fb = FunctionBuilder('k', grid_dim=2, block_dim=32)
+        a = fb.tensor_param('A', f32, [64])
+        smem = fb.shared_tensor('buf', f32, [32])
+        with fb.for_range(2, name='i') as i:
+            fb.store(smem, [thread_idx()], a[i * 32 + thread_idx()])
+            fb.sync()
+        func = fb.finish()
+        assert func.grid_dim == (2, 1, 1) and func.block_dim == (32, 1, 1)
+        assert func.shared_memory_bytes() == 32 * 4
+        assert 'syncthreads' in repr(func)
+
+    def test_builder_if_otherwise(self):
+        fb = FunctionBuilder('k')
+        a = fb.tensor_param('A', f32, [4])
+        with fb.if_then(thread_idx() < 2):
+            fb.store(a, [thread_idx()], 1.0)
+        with fb.otherwise():
+            fb.store(a, [thread_idx()], 2.0)
+        func = fb.finish()
+        assert isinstance(func.body, IfStmt)
+        assert func.body.else_body is not None
+
+    def test_otherwise_requires_if(self):
+        fb = FunctionBuilder('k')
+        with pytest.raises(ValueError):
+            with fb.otherwise():
+                pass
+
+    def test_fresh_names_unique(self):
+        fb = FunctionBuilder('k')
+        v1 = fb.declare_var('i')
+        v2 = fb.declare_var('i')
+        assert v1.name != v2.name
+
+    def test_kernel_params_must_be_global(self):
+        from repro.ir import Function
+        bad = tensor_var('S', f32, [4], 'shared')
+        with pytest.raises(ValueError):
+            Function('k', [bad], SeqStmt(()), 1, 1)
+
+
+class TestTools:
+    def test_substitute(self):
+        x, y = var('x'), var('y')
+        e = substitute(x + x * 2, {x: y + 1})
+        assert repr(e) == 'y + 1 + (y + 1) * 2'
+
+    def test_free_vars_respects_binding(self):
+        fb = FunctionBuilder('k')
+        a = fb.tensor_param('A', f32, [8])
+        outside = var('n')
+        with fb.for_range(4, name='i') as i:
+            fb.store(a, [i], convert(0.0) + outside)
+        func = fb.finish()
+        names = {v.name for v in free_vars(func.body)}
+        assert 'n' in names and 'A' in names and 'i' not in names
+
+    def test_stmt_repr_shows_structure(self):
+        fb = FunctionBuilder('k')
+        a = fb.tensor_param('A', f32, [4])
+        with fb.for_range(4, name='i', unroll=True) as i:
+            fb.store(a, [i], 0.0)
+        text = stmt_repr(fb.finish().body)
+        assert 'unrolled' in text and 'for i in range(4)' in text

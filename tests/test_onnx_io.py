@@ -1,0 +1,75 @@
+"""ONNX-like graph serialization round-trips."""
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.graph import from_numpy, ops, symbol, trace
+from repro.graph.onnx_io import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+RNG = np.random.default_rng(5)
+
+
+def _roundtrip(graph, *inputs):
+    data = graph_to_dict(graph)
+    rebuilt = graph_from_dict(data)
+    a = graph.run(*inputs)
+    b = rebuilt.run(*inputs)
+    for x, y in zip(a, b):
+        np.testing.assert_allclose(x, y, rtol=1e-6)
+    return rebuilt
+
+
+class TestRoundTrip:
+    def test_arithmetic_chain(self):
+        x = symbol([4, 4], name='x')
+        w = from_numpy(RNG.standard_normal((4, 4)).astype(np.float32))
+        y = ops.relu(ops.add(ops.matmul(x, w), 1.0 * from_numpy(np.float32(0.5).reshape(()))))
+        _roundtrip(trace(y), RNG.standard_normal((4, 4)).astype(np.float32))
+
+    def test_conv_pool_concat(self):
+        x = symbol([1, 3, 8, 8], name='x')
+        w = from_numpy(RNG.standard_normal((4, 3, 3, 3)).astype(np.float32))
+        c = ops.conv2d(x, w, stride=1, padding=1)
+        y = ops.concat([ops.max_pool2d(c, 2, 2), ops.avg_pool2d(c, 2, 2)], axis=1)
+        _roundtrip(trace(y), RNG.standard_normal((1, 3, 8, 8)).astype(np.float32))
+
+    def test_softmax_reduce_embedding(self):
+        table = from_numpy(RNG.standard_normal((10, 8)).astype(np.float32))
+        ids = symbol([4], dtype='int32', name='ids')
+        y = ops.softmax(ops.embedding(table, ids))
+        _roundtrip(trace(y), np.array([1, 3, 5, 7], dtype=np.int32))
+
+    def test_transforms_and_clip(self):
+        x = symbol([2, 6], name='x')
+        y = ops.clip(ops.transpose(ops.reshape(x, [3, 4]), [1, 0]), -1.0, 1.0)
+        _roundtrip(trace(y), RNG.standard_normal((2, 6)).astype(np.float32))
+
+    def test_file_save_load(self):
+        x = symbol([4], name='x')
+        g = trace(ops.gelu(x), name='tiny')
+        path = tempfile.mktemp(suffix='.json')
+        try:
+            save_graph(g, path)
+            loaded = load_graph(path)
+            assert loaded.name == 'tiny'
+            xv = RNG.standard_normal(4).astype(np.float32)
+            np.testing.assert_allclose(loaded.run(xv)[0], g.run(xv)[0], rtol=1e-6)
+        finally:
+            os.remove(path)
+
+    def test_version_checked(self):
+        x = symbol([4], name='x')
+        data = graph_to_dict(trace(ops.relu(x)))
+        data['format_version'] = 99
+        with pytest.raises(ValueError, match='version'):
+            graph_from_dict(data)
+
+    def test_constants_preserved_bit_exact(self):
+        w = from_numpy(RNG.standard_normal((16,)).astype(np.float32))
+        x = symbol([16], name='x')
+        g = trace(ops.mul(x, w))
+        rebuilt = graph_from_dict(graph_to_dict(g))
+        (const,) = [t for op in rebuilt.nodes for t in op.inputs if t.is_constant]
+        assert np.array_equal(const.numpy(), w.numpy())
