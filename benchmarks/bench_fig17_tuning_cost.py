@@ -1,6 +1,7 @@
-"""Figure 17: tuning cost of AutoTVM, Ansor and Hidet."""
+"""Figure 17: tuning cost of AutoTVM, Ansor and Hidet — plus cache reuse."""
 from common import write_result
-from repro.experiments import format_tuning_cost, run_tuning_cost
+from repro.experiments import (format_cache_reuse, format_tuning_cost,
+                               run_cache_reuse, run_tuning_cost)
 from repro.experiments.tuning_cost import speedups
 
 
@@ -17,3 +18,16 @@ def bench_fig17_tuning_cost(benchmark):
     # AutoTVM's transformer template spaces are tiny (minutes, paper: 2m)
     assert by_model['bert']['autotvm'] < 0.2
     write_result('fig17_tuning_cost', format_tuning_cost(rows))
+
+
+def bench_fig17_cache_reuse(benchmark):
+    """Cold-vs-warm compile: the cache amortizes Figure 17's cost to zero."""
+    rows = benchmark.pedantic(run_cache_reuse,
+                              kwargs={'models': ['resnet50', 'bert']},
+                              rounds=1, iterations=1)
+    for row in rows:
+        assert row.cold_seconds > 0
+        assert row.warm_seconds == 0.0          # warm compile tunes nothing
+        assert row.warm_misses == 0
+        assert abs(row.warm_latency_ms - row.cold_latency_ms) < 1e-9
+    write_result('fig17_cache_reuse', format_cache_reuse(rows))

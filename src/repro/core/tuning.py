@@ -33,8 +33,12 @@ class TuningResult:
     best_schedule: MatmulSchedule
     best_latency: float                 # seconds
     num_candidates: int
-    tuning_seconds: float
+    tuning_seconds: float               # 0.0 when served from the tuner cache
     latencies: dict[MatmulSchedule, float]
+    #: whether split-k factors were actually enumerated for this problem
+    split_k_tried: bool = True
+    #: why split-k enumeration was skipped (None when it ran or was not requested)
+    split_k_disabled_reason: Optional[str] = None
 
     @property
     def best_latency_ms(self) -> float:
@@ -68,12 +72,36 @@ class MatmulTuner:
              extra_read_bytes: float = 0.0,
              extra_write_bytes: float = 0.0,
              batch: int = 1) -> TuningResult:
-        """Find the best schedule for an ``m×n×k`` problem by full enumeration."""
-        try_split_k = try_split_k and batch == 1
-        key = (m, n, k, batch, None if space is None else tuple(space), try_split_k,
-               round(extra_read_bytes), round(extra_write_bytes))
+        """Find the best schedule for an ``m×n×k`` problem by full enumeration.
+
+        Results are cached per problem key; a cache hit returns an equal
+        result whose ``tuning_seconds`` is 0.0 (no clock time is charged —
+        reporting the original tuning time would double-count it).
+
+        Split-k (paper §6.3.4) is only enumerated for un-batched problems:
+        splitting the reduction exists to manufacture extra thread blocks
+        when the ``m×n`` output grid alone cannot saturate the SMs, but a
+        batched matmul already multiplies the grid by ``batch``, and split-k
+        would add a second (reduce) kernel plus partial-sum traffic per
+        batch element for no occupancy gain.  The decision is recorded in
+        ``TuningResult.split_k_tried`` / ``split_k_disabled_reason`` so
+        experiments can observe it instead of inferring it from the absence
+        of split-k candidates.
+        """
+        split_k_reason: Optional[str] = None
+        requested_split_k = try_split_k
+        if try_split_k and batch != 1:
+            try_split_k = False
+            split_k_reason = (
+                f'batch={batch}: batching already multiplies the launch grid, '
+                f'so split-k cannot add useful parallelism (§6.3.4)')
+        # key on the *requested* flag: an explicit opt-out and a batch-forced
+        # disable enumerate the same space but must not alias, or the cached
+        # result's split_k_tried/split_k_disabled_reason would be wrong
+        key = (m, n, k, batch, None if space is None else tuple(space),
+               requested_split_k, round(extra_read_bytes), round(extra_write_bytes))
         if key in self._cache:
-            return self._cache[key]
+            return replace(self._cache[key], tuning_seconds=0.0)
 
         if space is None:
             space = matmul_schedule_space(self.device)
@@ -110,6 +138,8 @@ class MatmulTuner:
             num_candidates=num_candidates,
             tuning_seconds=self.clock.elapsed_seconds - start,
             latencies=latencies,
+            split_k_tried=try_split_k,
+            split_k_disabled_reason=split_k_reason,
         )
         self._cache[key] = result
         return result

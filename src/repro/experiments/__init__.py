@@ -16,7 +16,8 @@ Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
 """
 from .common import EXECUTOR_ORDER, all_reports, geomean, hidet_report, run_executor
 from .end_to_end import run_end_to_end, format_end_to_end
-from .tuning_cost import run_tuning_cost, format_tuning_cost
+from .tuning_cost import (run_tuning_cost, format_tuning_cost,
+                          run_cache_reuse, format_cache_reuse)
 from .space_size import run_space_sizes, format_space_sizes
 from .schedule_dist import run_schedule_distribution, format_schedule_distribution
 from .input_sensitivity import run_input_sensitivity, format_input_sensitivity
@@ -29,6 +30,7 @@ __all__ = [
     'EXECUTOR_ORDER', 'all_reports', 'geomean', 'hidet_report', 'run_executor',
     'run_end_to_end', 'format_end_to_end',
     'run_tuning_cost', 'format_tuning_cost',
+    'run_cache_reuse', 'format_cache_reuse',
     'run_space_sizes', 'format_space_sizes',
     'run_schedule_distribution', 'format_schedule_distribution',
     'run_input_sensitivity', 'format_input_sensitivity',

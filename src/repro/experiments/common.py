@@ -17,7 +17,7 @@ from ..baselines import (Ansor, AutoTVM, ExecutorReport, OnnxRuntimeLike,
 from ..graph.flow_graph import FlowGraph
 from ..gpusim.device import DeviceSpec, RTX3090
 from ..models import MODEL_BUILDERS
-from ..runtime import HidetExecutor
+from ..runtime import HidetExecutor, ScheduleCache
 
 __all__ = ['EXECUTOR_ORDER', 'run_executor', 'all_reports', 'geomean',
            'MODEL_BUILDERS', 'hidet_report']
@@ -34,7 +34,14 @@ def geomean(values: Sequence[float]) -> float:
 
 def hidet_report(graph: FlowGraph, device: DeviceSpec = RTX3090,
                  **kwargs) -> ExecutorReport:
-    """Compile with the Hidet pipeline and wrap as an ExecutorReport."""
+    """Compile with the Hidet pipeline and wrap as an ExecutorReport.
+
+    Tuning-cost experiments must measure *cold* compiles, so unless the
+    caller passes a ``cache`` explicitly each report uses a private
+    ScheduleCache rather than the warm process-wide one (which would make
+    reported tuning hours depend on what compiled earlier in the process).
+    """
+    kwargs.setdefault('cache', ScheduleCache())
     executor = HidetExecutor(device, **kwargs)
     compiled = executor.compile(graph)
     return ExecutorReport(

@@ -6,6 +6,7 @@ modeled by dividing batch compile time by the worker count.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ['SimulatedClock', 'TuningCosts']
@@ -47,7 +48,6 @@ class SimulatedClock:
         """Compile ``num_candidates`` kernels on a parallel worker pool."""
         workers = max(1, costs.parallel_compile_workers)
         # ceil-div batches: workers compile concurrently, measurement is serial
-        import math
         batches = math.ceil(num_candidates / workers)
         self.charge(label, batches * costs.compile_seconds)
 

@@ -82,6 +82,36 @@ class Task:
         """True when injective and every input has an inverse index map."""
         return self.is_injective and all(inp in self.inverse_maps for inp in self.inputs)
 
+    # -- compilation-cache signature ---------------------------------------
+
+    def signature_key(self) -> tuple:
+        """Canonical, process-stable description of the scheduling problem.
+
+        Captures everything template dispatch and tuning depend on — task
+        kind, operand shapes and dtypes, and scalar attributes (``m``/``n``/
+        ``k``, ``batch``, ``reduce_size``, ...) — and nothing tied to object
+        identity, so the same model built twice (or in another process)
+        yields equal keys.  The runtime hashes this, together with the device
+        spec and the fused prologue/epilogue shape, into the
+        content-addressed signature of the compilation cache
+        (:func:`repro.runtime.cache.task_signature`).
+        """
+        def tensor_key(t: TensorNode) -> tuple:
+            return (t.dtype.name, t.shape)
+
+        def attr_value(v):
+            if isinstance(v, (tuple, list)):
+                return tuple(attr_value(x) for x in v)
+            if isinstance(v, (bool, int, float, str)) or v is None:
+                return v
+            return repr(v)
+
+        attrs = tuple(sorted((k, attr_value(v)) for k, v in self.attrs.items()))
+        return (self.name,
+                tuple(tensor_key(i) for i in self.inputs),
+                tensor_key(self.output),
+                attrs)
+
     def inverse_map_of(self, inp: TensorInput) -> InverseMap:
         try:
             return self.inverse_maps[inp]

@@ -1,7 +1,9 @@
-"""Runtime: the Hidet compile pipeline and compiled executables."""
+"""Runtime: the Hidet compile pipeline, compilation cache, and executables."""
+from .cache import ScheduleCache, default_schedule_cache, task_signature
 from .compiled import CompiledOp, CompiledGraph
 from .executor import HidetExecutor, optimize
 from .profiler import Measurement, benchmark
 
 __all__ = ['CompiledOp', 'CompiledGraph', 'HidetExecutor', 'optimize',
+           'ScheduleCache', 'default_schedule_cache', 'task_signature',
            'Measurement', 'benchmark']

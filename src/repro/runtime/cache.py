@@ -1,0 +1,280 @@
+"""Persistent compilation cache: task signatures and schedule reuse (§4.3).
+
+Hidet's hardware-centric schedule space is small and *input-size
+independent*, so the schedule found for one task transfers verbatim to
+every other occurrence of the same task — across operators in a graph,
+across graphs, and across processes.  This module turns that property into
+a subsystem:
+
+* :func:`task_signature` — a content-addressed key for a scheduling problem:
+  a stable SHA-256 over the task's canonical description
+  (:meth:`repro.ir.task.Task.signature_key`), the device spec, the fused
+  prologue/epilogue shape, and any extra dispatch dimensions (schedule-space
+  fingerprint, split-k policy).  No ``id()``s, no interned-object hashes —
+  the same model built in a different process produces the same signatures.
+* :class:`ScheduleCache` — an in-memory signature → schedule store with
+  hit/miss accounting, shared by default across every
+  :class:`~repro.runtime.executor.HidetExecutor` in the process.
+* a versioned JSON on-disk format (:meth:`ScheduleCache.save` /
+  :meth:`ScheduleCache.load`) so a warmed cache survives process restarts:
+  ``optimize()`` of the same model in a new process pays zero simulated
+  tuning time.
+
+This is the same lever AutoTVM/Ansor pull with their tuning-log files,
+except Hidet's records are tiny (one schedule per task class, not thousands
+of measurement trials).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, astuple, dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from ..core.schedule import MatmulSchedule, ReduceSchedule
+from ..gpusim.device import DeviceSpec
+from ..ir.compute import GridCompute, ReduceCompute, TensorInput
+from ..ir.expr import (BinaryExpr, BlockIndex, Call, Cast, Constant, Expr,
+                       IfThenElse, TensorElement, ThreadIndex, Var)
+from ..ir.task import Task
+from ..sched.fusion import FusedTaskSpec
+
+__all__ = ['CACHE_FORMAT_VERSION', 'ScheduleCache', 'CacheEntry',
+           'task_signature', 'fusion_fingerprint', 'space_fingerprint',
+           'default_schedule_cache']
+
+#: bump when the on-disk record layout or signature recipe changes
+CACHE_FORMAT_VERSION = 1
+
+Schedule = Union[MatmulSchedule, ReduceSchedule]
+
+
+# ---------------------------------------------------------------------------
+# signatures
+
+
+def _device_key(device: DeviceSpec) -> tuple:
+    """Canonical description of the device (frozen dataclass of scalars)."""
+    return astuple(device)
+
+
+def _expr_fingerprint(e) -> tuple:
+    """Structural, process-stable fingerprint of a compute expression.
+
+    Prologue definitions inline the producing operator's computation, so two
+    groups can differ *only* in expression constants (e.g. ``clip(x, 0, 6)``
+    vs ``clip(x, -1, 1)``) while every name, shape, and attribute matches —
+    the fingerprint must see through to the expression structure or the IR
+    cache would serve the wrong fused module.
+    """
+    if isinstance(e, Var):
+        return ('var', e.name)
+    if isinstance(e, Constant):
+        return ('const', e.dtype.name, e.value)
+    if isinstance(e, BinaryExpr):
+        return ('bin', e.op, _expr_fingerprint(e.a), _expr_fingerprint(e.b))
+    if isinstance(e, Cast):
+        return ('cast', e.dtype.name, _expr_fingerprint(e.expr))
+    if isinstance(e, TensorElement):
+        return ('elem', _expr_fingerprint(e.base),
+                tuple(_expr_fingerprint(i) for i in e.indices))
+    if isinstance(e, IfThenElse):
+        return ('ite', _expr_fingerprint(e.cond),
+                _expr_fingerprint(e.then_expr), _expr_fingerprint(e.else_expr))
+    if isinstance(e, Call):
+        return ('call', e.func_name, tuple(_expr_fingerprint(a) for a in e.args))
+    if isinstance(e, ThreadIndex):
+        return ('tid', e.dim)
+    if isinstance(e, BlockIndex):
+        return ('bid', e.dim)
+    if isinstance(e, TensorInput):
+        return ('in', e.name, e.dtype.name, e.shape)
+    if isinstance(e, GridCompute):
+        return ('grid', e.name, e.dtype.name, e.shape,
+                tuple(a.name for a in e.axes), _expr_fingerprint(e.value))
+    if isinstance(e, ReduceCompute):
+        return ('reduce', e.op, e.extents, tuple(a.name for a in e.axes),
+                _expr_fingerprint(e.value))
+    if isinstance(e, Expr) and hasattr(e, 'a'):        # UnaryExpr and kin
+        return ('un', getattr(e, 'op', type(e).__name__), _expr_fingerprint(e.a))
+    return ('opaque', type(e).__name__, repr(e))
+
+
+def fusion_fingerprint(spec: FusedTaskSpec) -> tuple:
+    """Canonical description of a group's fused prologue/epilogue shape.
+
+    Two groups with the same anchor task but different fusion surroundings
+    must not share a schedule record: the epilogue side inputs change the
+    memory traffic the tuner optimized for, and the fused IR module differs.
+    Prologue entries fingerprint the inlined computation itself, not just its
+    name and shape (constants baked into the expression matter).
+    """
+    prologues = tuple(sorted(
+        ((anchor_input.name, _expr_fingerprint(gc))
+         for anchor_input, gc in spec.prologue_defs.items()),
+        key=lambda pair: pair[0]))
+    epilogues = tuple(
+        (step.task.signature_key(), step.task.inputs.index(step.chain_input))
+        for step in spec.epilogue_steps)
+    return (prologues, epilogues)
+
+
+def space_fingerprint(space: Sequence[MatmulSchedule]) -> str:
+    """Stable digest of a schedule space (order-sensitive).
+
+    Executors restricted to a sub-space (e.g. ``double_buffer=False``
+    ablations) must not consume schedules tuned over the full space.
+    """
+    payload = tuple(astuple(s) for s in space)
+    return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()[:16]
+
+
+def task_signature(task: Task, device: DeviceSpec,
+                   fusion: Optional[tuple] = None,
+                   extras: Iterable = ()) -> str:
+    """Content-addressed signature of one scheduling problem.
+
+    Stable across processes: built only from names, shapes, dtypes, scalar
+    attributes, and the device spec — never from runtime object identity.
+    """
+    payload = (CACHE_FORMAT_VERSION, task.signature_key(), _device_key(device),
+               fusion, tuple(extras))
+    return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# schedule (de)serialization
+
+
+def _schedule_to_dict(schedule: Schedule) -> dict:
+    return asdict(schedule)
+
+
+def _schedule_from_dict(kind: str, data: dict) -> Schedule:
+    if kind == 'matmul':
+        return MatmulSchedule(
+            block_warps=tuple(data['block_warps']),
+            warp_outer=tuple(data['warp_outer']),
+            thread_layout=tuple(data['thread_layout']),
+            thread_tile=tuple(data['thread_tile']),
+            block_k=int(data['block_k']),
+            double_buffer=bool(data['double_buffer']),
+            split_k=int(data['split_k']),
+        )
+    if kind == 'reduce':
+        return ReduceSchedule(block_size=int(data['block_size']),
+                              items_per_thread=int(data['items_per_thread']))
+    raise ValueError(f'unknown schedule kind {kind!r}')
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached scheduling decision."""
+
+    kind: str                    # 'matmul' | 'reduce'
+    schedule: Schedule
+
+    def to_json(self) -> dict:
+        return {'kind': self.kind, 'schedule': _schedule_to_dict(self.schedule)}
+
+    @staticmethod
+    def from_json(data: dict) -> 'CacheEntry':
+        kind = data['kind']
+        return CacheEntry(kind=kind,
+                          schedule=_schedule_from_dict(kind, data['schedule']))
+
+
+# ---------------------------------------------------------------------------
+# the cache
+
+
+class ScheduleCache:
+    """Signature → schedule store with hit/miss accounting.
+
+    In-memory by default; :meth:`save`/:meth:`load` round-trip the records
+    through a versioned JSON file so tuning cost is paid once per task class
+    per device, ever.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- core protocol -----------------------------------------------------
+
+    def get(self, signature: str, kind: str) -> Optional[Schedule]:
+        """Look up a schedule; counts a hit or a miss."""
+        entry = self._entries.get(signature)
+        if entry is not None and entry.kind == kind:
+            self.hits += 1
+            return entry.schedule
+        self.misses += 1
+        return None
+
+    def put(self, signature: str, kind: str, schedule: Schedule) -> None:
+        self._entries[signature] = CacheEntry(kind=kind, schedule=schedule)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {'entries': len(self._entries),
+                'hits': self.hits, 'misses': self.misses}
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            'version': CACHE_FORMAT_VERSION,
+            'entries': {sig: entry.to_json()
+                        for sig, entry in sorted(self._entries.items())},
+        }
+
+    def save(self, path: str) -> None:
+        """Write the cache to a JSON file (atomic rename)."""
+        tmp = f'{path}.tmp'
+        with open(tmp, 'w', encoding='utf-8') as f:
+            json.dump(self.to_json(), f, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def merge_json(self, data: dict) -> int:
+        """Merge records from a parsed cache file; returns entries added."""
+        version = data.get('version')
+        if version != CACHE_FORMAT_VERSION:
+            raise ValueError(
+                f'schedule cache version mismatch: file has {version!r}, '
+                f'this build reads {CACHE_FORMAT_VERSION}')
+        added = 0
+        for sig, raw in data.get('entries', {}).items():
+            if sig not in self._entries:
+                added += 1
+            self._entries[sig] = CacheEntry.from_json(raw)
+        return added
+
+    @classmethod
+    def load(cls, path: str) -> 'ScheduleCache':
+        """Read a cache written by :meth:`save` into a fresh instance."""
+        cache = cls()
+        with open(path, 'r', encoding='utf-8') as f:
+            cache.merge_json(json.load(f))
+        return cache
+
+
+#: process-wide cache shared by every executor that does not bring its own
+_DEFAULT_CACHE = ScheduleCache()
+
+
+def default_schedule_cache() -> ScheduleCache:
+    """The process-wide :class:`ScheduleCache` (see ``HidetExecutor(cache=...)``)."""
+    return _DEFAULT_CACHE

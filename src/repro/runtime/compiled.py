@@ -62,6 +62,9 @@ class CompiledGraph:
     ops: list[CompiledOp]
     device: DeviceSpec
     tuning_seconds: float = 0.0
+    #: schedule-cache lookups during this compile (hits pay zero tuning time)
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: executor dispatch overhead per kernel launch (framework-dependent);
     #: compiled executors submit pre-built launch graphs, so this is small
     dispatch_overhead: float = 0.5e-6
@@ -110,7 +113,8 @@ class CompiledGraph:
 
     def summary(self) -> str:
         lines = [f'CompiledGraph({self.name}): {len(self.ops)} fused ops, '
-                 f'{self.num_kernels} kernels, latency {self.latency_ms:.3f} ms']
+                 f'{self.num_kernels} kernels, latency {self.latency_ms:.3f} ms, '
+                 f'schedule cache {self.cache_hits} hits / {self.cache_misses} misses']
         for op in self.ops:
             lines.append(f'  [{op.kind:16s}] {op.name:40s} {op.latency * 1e6:9.1f} us')
         return '\n'.join(lines)

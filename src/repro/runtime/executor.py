@@ -4,14 +4,25 @@
 
 1. graph-level optimizations — constant folding, conv→implicit-GEMM lowering
    (§5.2), fusible sub-graph partition (§4.2);
-2. per-group scheduling — matmul-class anchors go through template-based
-   scheduling with exhaustive tuning in the hardware-centric space (§4.3);
-   large last-axis reductions use the reduce template; everything else is
-   rule-based (§5.1.3);
-3. post-scheduling fusion — prologues/epilogues are rewritten into the
-   scheduled tensor program (§5.2);
-4. packaging into a :class:`~repro.runtime.compiled.CompiledGraph` with
-   modeled latencies and the simulated tuning-cost clock.
+2. per-group schedule dispatch — every group's task is canonicalized into a
+   content-addressed signature (task kind, shapes, dtypes, fusion shape,
+   device; :func:`repro.runtime.cache.task_signature`) and looked up in the
+   :class:`~repro.runtime.cache.ScheduleCache` first.  A hit reuses the
+   stored schedule and charges *zero* simulated tuning time — schedules in
+   the hardware-centric space are input-size independent (§4.3), so they
+   transfer across operators, graphs, and processes;
+3. per-group scheduling on a miss — matmul-class anchors go through
+   template-based scheduling with exhaustive tuning in the hardware-centric
+   space (§4.3); large last-axis reductions use the reduce template
+   mini-tune (falling back to rule-based when the device admits no valid
+   reduce schedule); everything else is rule-based (§5.1.3).  The winning
+   schedule is stored back into the cache;
+4. post-scheduling fusion — prologues/epilogues are rewritten into the
+   scheduled tensor program (§5.2); built ``IRModule``s are memoized per
+   signature in the executor's IR cache;
+5. packaging into a :class:`~repro.runtime.compiled.CompiledGraph` with
+   modeled latencies, the simulated tuning-cost clock, and the compile's
+   cache hit/miss counts.
 """
 from __future__ import annotations
 
@@ -36,6 +47,8 @@ from ..sched import matmul_template
 from ..sched.fusion import apply_fusion
 from ..sched.reduce_template import build_reduce_module, is_last_axis_reduction, reduce_stats
 from ..sched.rule_based import ELEMENTWISE_BLOCK, build_rule_based_module
+from .cache import (ScheduleCache, default_schedule_cache, fusion_fingerprint,
+                    space_fingerprint, task_signature)
 from .compiled import CompiledGraph, CompiledOp
 
 __all__ = ['optimize', 'HidetExecutor']
@@ -53,7 +66,8 @@ class HidetExecutor:
                  enable_fusion: bool = True,
                  double_buffer: bool = True,
                  try_split_k: bool = True,
-                 build_ir: bool = False):
+                 build_ir: bool = False,
+                 cache: Optional[ScheduleCache] = None):
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
         self.space = space if space is not None else matmul_schedule_space(
@@ -63,12 +77,22 @@ class HidetExecutor:
         self.enable_fusion = enable_fusion
         self.try_split_k = try_split_k
         self.build_ir = build_ir
+        #: schedule store consulted before any tuning; the process-wide
+        #: default is shared across executor instances (pass a fresh
+        #: ``ScheduleCache()`` for an isolated, cold compile)
+        self.cache = cache if cache is not None else default_schedule_cache()
+        #: restricted spaces must not consume full-space records (and vice
+        #: versa), so the space digest is part of every matmul signature
+        self._space_key = space_fingerprint(self.space)
+        #: signature → built IRModule, so repeated identical groups (and
+        #: repeated compiles through one executor) lower the IR once
         self._ir_cache: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
 
     def compile(self, graph: FlowGraph, name: str = '') -> CompiledGraph:
         start = self.clock.elapsed_seconds
+        hits0, misses0 = self.cache.hits, self.cache.misses
         optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
         if self.enable_fusion:
             groups = partition_graph(optimized)
@@ -80,6 +104,8 @@ class HidetExecutor:
             ops=compiled_ops,
             device=self.device,
             tuning_seconds=self.clock.elapsed_seconds - start,
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - misses0,
             name=name or f'hidet_{graph.name}',
         )
 
@@ -108,27 +134,48 @@ class HidetExecutor:
         extra_write = float(spec.group.output.nbytes - anchor_out.nbytes)
         return extra_read, extra_write
 
+    def _group_signature(self, group: FusedGroup, spec: GroupSpec,
+                         *extras) -> str:
+        return task_signature(group.anchor.task, self.device,
+                              fusion=fusion_fingerprint(spec.spec),
+                              extras=extras)
+
     def _compile_matmul_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
         task = group.anchor.task
         m, n, k = task.attrs['m'], task.attrs['n'], task.attrs['k']
         batch = task.attrs.get('batch', 1)
         extra_read, extra_write = self._fusion_traffic(spec)
-        result = self.tuner.tune(m, n, k, space=self.space,
-                                 try_split_k=self.try_split_k,
-                                 extra_read_bytes=extra_read,
-                                 extra_write_bytes=extra_write,
-                                 batch=batch)
-        sched = result.best_schedule
+        signature = self._group_signature(group, spec, 'matmul',
+                                          self._space_key, self.try_split_k)
+        sched = self.cache.get(signature, kind='matmul')
+        if sched is None:
+            result = self.tuner.tune(m, n, k, space=self.space,
+                                     try_split_k=self.try_split_k,
+                                     extra_read_bytes=extra_read,
+                                     extra_write_bytes=extra_write,
+                                     batch=batch)
+            sched = result.best_schedule
+            self.cache.put(signature, 'matmul', sched)
         stats = matmul_template.matmul_stats(
             m, n, k, sched, name=group.name, batch=batch,
             extra_read_bytes=extra_read, extra_write_bytes=extra_write)
+        latency = sum(self.model.latency(s) for s in stats)
         module = None
         if self.build_ir:
-            module = self._build_fused_matmul_ir(group, spec, sched, batch)
+            module = self._cached_ir(signature, group.name,
+                                     lambda: self._build_fused_matmul_ir(
+                                         group, spec, sched, batch))
         return CompiledOp(
             name=group.name, group=group, kind='matmul_template',
-            stats=stats, latency=result.best_latency, module=module,
+            stats=stats, latency=latency, module=module,
             schedule=sched, num_kernels=len(stats))
+
+    def _cached_ir(self, signature: str, group_name: str, build):
+        """Memoize built IR modules by (signature, group name)."""
+        key = (signature, group_name)
+        if key not in self._ir_cache:
+            self._ir_cache[key] = build()
+        return self._ir_cache[key]
 
     def _build_fused_matmul_ir(self, group: FusedGroup, spec: GroupSpec,
                                sched: MatmulSchedule, batch: int):
@@ -149,21 +196,31 @@ class HidetExecutor:
 
     def _compile_reduce_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
         task = group.anchor.task
-        # mini-tune over the reduce space with the analytic model
-        best_sched, best_latency = None, math.inf
-        for sched in reduce_schedule_space(self.device):
-            latency = sum(self.model.latency(s)
-                          for s in reduce_stats(task, sched, name=group.name))
-            if latency < best_latency:
-                best_sched, best_latency = sched, latency
+        signature = self._group_signature(group, spec, 'reduce')
+        best_sched = self.cache.get(signature, kind='reduce')
+        if best_sched is None:
+            # mini-tune over the reduce space with the analytic model
+            best_latency = math.inf
+            for sched in reduce_schedule_space(self.device):
+                latency = sum(self.model.latency(s)
+                              for s in reduce_stats(task, sched, name=group.name))
+                if latency < best_latency:
+                    best_sched, best_latency = sched, latency
+            if best_sched is None:
+                # the device admits no valid reduce schedule: fall back to
+                # the rule-based serial reduction instead of crashing
+                return self._compile_rule_based_group(group, spec)
+            self.cache.put(signature, 'reduce', best_sched)
         stats = reduce_stats(task, best_sched, name=group.name)
         stats = [self._adjust_fused_stats(s, spec) for s in stats]
         latency = sum(self.model.latency(s) for s in stats)
         module = None
         if self.build_ir:
-            module = self._build_fused_simple_ir(group, spec,
-                                                 build_reduce_module(task, best_sched,
-                                                                     name=group.name))
+            module = self._cached_ir(signature, group.name,
+                                     lambda: self._build_fused_simple_ir(
+                                         group, spec,
+                                         build_reduce_module(task, best_sched,
+                                                             name=group.name)))
         return CompiledOp(
             name=group.name, group=group, kind='reduce_template',
             stats=stats, latency=latency, module=module,
@@ -175,9 +232,12 @@ class HidetExecutor:
         latency = sum(self.model.latency(s) for s in stats)
         module = None
         if self.build_ir:
-            module = self._build_fused_simple_ir(group, spec,
-                                                 build_rule_based_module(task,
-                                                                         name=group.name))
+            signature = self._group_signature(group, spec, 'rule_based')
+            module = self._cached_ir(signature, group.name,
+                                     lambda: self._build_fused_simple_ir(
+                                         group, spec,
+                                         build_rule_based_module(task,
+                                                                 name=group.name)))
         return CompiledOp(
             name=group.name, group=group, kind='rule_based',
             stats=stats, latency=latency, module=module, num_kernels=1)

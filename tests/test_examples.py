@@ -1,0 +1,19 @@
+"""Smoke-run the examples so they cannot rot silently."""
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_quickstart_example_runs():
+    env = dict(os.environ)
+    env['PYTHONPATH'] = (str(REPO_ROOT / 'src')
+                         + os.pathsep + env.get('PYTHONPATH', ''))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / 'examples' / 'quickstart.py')],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert 'executed on the functional simulator: OK' in proc.stdout
+    assert 'max error' in proc.stdout

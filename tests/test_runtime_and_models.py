@@ -71,11 +71,14 @@ class TestOptimizePipeline:
 
     def test_tuning_cache_shared_within_executor(self):
         """Identical conv shapes tune once (simulated clock counts tasks)."""
+        from repro.runtime import ScheduleCache
         x = symbol([1, 8, 8, 8], name='x')
         w1 = from_numpy(RNG.standard_normal((8, 8, 3, 3)).astype(np.float32))
         w2 = from_numpy(RNG.standard_normal((8, 8, 3, 3)).astype(np.float32))
         y = ops.conv2d(ops.conv2d(x, w1, padding=1), w2, padding=1)
-        executor = HidetExecutor()
+        # a private cache isolates the clock accounting from compiles that
+        # warmed the process-wide cache earlier in the test session
+        executor = HidetExecutor(cache=ScheduleCache())
         executor.compile(trace(y))
         labels = {label for label, _ in executor.clock.events}
         compile_labels = [l for l in labels if l.startswith('compile matmul')]

@@ -42,8 +42,14 @@ class TestTuner:
     def test_deterministic_and_cached(self):
         tuner = MatmulTuner(RTX3090)
         r1 = tuner.tune(512, 512, 512)
+        charged = tuner.clock.elapsed_seconds
         r2 = tuner.tune(512, 512, 512)
-        assert r1 is r2   # cache hit
+        # cache hit: same answer, no new clock charges, ~0 reported seconds
+        assert r2.best_schedule == r1.best_schedule
+        assert r2.best_latency == r1.best_latency
+        assert tuner.clock.elapsed_seconds == charged
+        assert r1.tuning_seconds > 0
+        assert r2.tuning_seconds == 0.0
         fresh = MatmulTuner(RTX3090).tune(512, 512, 512)
         assert fresh.best_schedule == r1.best_schedule
         assert fresh.best_latency == r1.best_latency
