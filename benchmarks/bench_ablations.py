@@ -7,6 +7,18 @@ from repro.experiments.ablations import (double_buffer_ablation, fusion_ablation
 from repro.models import resnet50
 
 
+def smoke() -> str:
+    """Matmul-only ablations (double buffering, parallel-k) — sub-second."""
+    db = double_buffer_ablation()
+    sk = split_k_ablation()
+    assert db.speedup > 1.2
+    assert sk.speedup > 1.2
+    return (f'double buffering: {db.baseline_ms:.3f} -> {db.variant_ms:.3f} ms '
+            f'({db.speedup:.2f}x)\n'
+            f'parallel-k: {sk.baseline_ms * 1e3:.1f} -> {sk.variant_ms * 1e3:.1f} us '
+            f'({sk.speedup:.2f}x)')
+
+
 def bench_ablation_double_buffer(benchmark):
     ab = benchmark.pedantic(double_buffer_ablation, rounds=1, iterations=1)
     assert ab.speedup > 1.2     # §3.1: double buffering matters

@@ -5,6 +5,14 @@ from common import write_result
 from repro.experiments import format_space_sizes, run_space_sizes
 
 
+def smoke() -> str:
+    """Full Figure 7 (space-size counting is pure arithmetic, already fast)."""
+    rows = run_space_sizes()
+    per_layer = [r.autotvm_size for r in rows for _ in range(r.workload.count)]
+    assert len(per_layer) == 53
+    return format_space_sizes(rows)
+
+
 def bench_fig07_space_sizes(benchmark):
     rows = benchmark.pedantic(run_space_sizes, rounds=1, iterations=1)
     per_layer = [r.autotvm_size for r in rows for _ in range(r.workload.count)]

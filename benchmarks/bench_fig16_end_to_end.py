@@ -4,6 +4,13 @@ from repro.experiments import format_end_to_end, run_end_to_end
 from repro.experiments.common import geomean
 
 
+def smoke() -> str:
+    """One model (ResNet-50) across all five executors."""
+    rows = run_end_to_end(models=['resnet50'])
+    assert rows[0].speedup_vs_best_baseline > 1.0
+    return format_end_to_end(rows)
+
+
 def bench_fig16_end_to_end(benchmark):
     rows = benchmark.pedantic(run_end_to_end, rounds=1, iterations=1)
     by_model = {r.model: r for r in rows}

@@ -5,6 +5,17 @@ from repro.experiments import (format_cache_reuse, format_tuning_cost,
 from repro.experiments.tuning_cost import speedups
 
 
+def smoke() -> str:
+    """One model: tuning-cost comparison plus the cold/warm cache round-trip."""
+    cost_rows = run_tuning_cost(models=['resnet50'])
+    hours = cost_rows[0].hours
+    assert hours['hidet'] < hours['autotvm']
+    reuse_rows = run_cache_reuse(models=['resnet50'])
+    assert reuse_rows[0].warm_seconds == 0.0
+    assert abs(reuse_rows[0].warm_latency_ms - reuse_rows[0].cold_latency_ms) < 1e-9
+    return format_tuning_cost(cost_rows) + '\n\n' + format_cache_reuse(reuse_rows)
+
+
 def bench_fig17_tuning_cost(benchmark):
     rows = benchmark.pedantic(run_tuning_cost, rounds=1, iterations=1)
     ratio = speedups(rows)

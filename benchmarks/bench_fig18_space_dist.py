@@ -5,6 +5,14 @@ from common import write_result
 from repro.experiments import format_schedule_distribution, run_schedule_distribution
 
 
+def smoke() -> str:
+    """Full Figure 18 (sampling the spaces is analytic, already fast)."""
+    result = run_schedule_distribution()
+    summary = result.summary(threshold_us=73.0)
+    assert summary['hidet_below'] > 0.5
+    return format_schedule_distribution(result)
+
+
 def bench_fig18_space_dist(benchmark):
     result = benchmark.pedantic(run_schedule_distribution, rounds=1, iterations=1)
     summary = result.summary(threshold_us=73.0)

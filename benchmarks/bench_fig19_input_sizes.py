@@ -6,6 +6,15 @@ from common import write_result
 from repro.experiments import format_input_sensitivity, run_input_sensitivity
 
 
+def smoke() -> str:
+    """Two sizes: one friendly, one prime past the thread-block limit."""
+    rows = run_input_sensitivity(sizes=(1024, 1031))
+    by_size = {r.size: r for r in rows}
+    assert math.isfinite(by_size[1031].hidet_ms)
+    assert not math.isfinite(by_size[1031].autotvm_ms)
+    return format_input_sensitivity(rows)
+
+
 def bench_fig19_input_sizes(benchmark):
     rows = benchmark.pedantic(run_input_sensitivity, rounds=1, iterations=1)
     by_size = {r.size: r for r in rows}

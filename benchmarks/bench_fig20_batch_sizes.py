@@ -3,6 +3,14 @@ from common import write_result
 from repro.experiments import format_batch_sizes, run_batch_sizes
 
 
+def smoke() -> str:
+    """Two batch sizes, all executors."""
+    rows = run_batch_sizes(batch_sizes=(1, 4))
+    for row in rows:
+        assert min(row.latencies_ms, key=row.latencies_ms.get) == 'hidet'
+    return format_batch_sizes(rows)
+
+
 def bench_fig20_batch_sizes(benchmark):
     from repro.experiments.batch_sizes import library_gap_ratios
     rows = benchmark.pedantic(run_batch_sizes, rounds=1, iterations=1)

@@ -3,6 +3,14 @@ from common import write_result
 from repro.experiments import format_conv_bn_relu, run_conv_bn_relu
 
 
+def smoke() -> str:
+    """First six Conv2d-BN-ReLU workloads."""
+    from repro.baselines.input_space import resnet50_conv_workloads
+    rows = run_conv_bn_relu(workloads=resnet50_conv_workloads()[:6])
+    assert sum(r.winner == 'hidet' for r in rows) >= len(rows) // 2
+    return format_conv_bn_relu(rows)
+
+
 def bench_fig21_conv_bn_relu(benchmark):
     rows = benchmark.pedantic(run_conv_bn_relu, rounds=1, iterations=1)
     wins = sum(r.winner == 'hidet' for r in rows)

@@ -3,6 +3,15 @@ from common import write_result
 from repro.experiments import format_tensorrt_cmp, run_tensorrt_cmp
 
 
+def smoke() -> str:
+    """One CNN and one transformer (the two sides of the paper's story)."""
+    rows = run_tensorrt_cmp(models=['resnet50', 'bert'])
+    by_model = {r.model: r for r in rows}
+    assert by_model['resnet50'].winner == 'hidet'
+    assert by_model['bert'].winner == 'tensorrt'
+    return format_tensorrt_cmp(rows)
+
+
 def bench_fig22_tensorrt(benchmark):
     rows = benchmark.pedantic(run_tensorrt_cmp, rounds=1, iterations=1)
     by_model = {r.model: r for r in rows}

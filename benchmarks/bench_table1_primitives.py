@@ -20,6 +20,23 @@ def _demo_schedule():
     return create_default_program(Task('copy', [a], out))
 
 
+def smoke() -> str:
+    """Fuse/split/bind the running example and check it still computes 2*A."""
+    from repro.backend.interpreter import run_kernel
+
+    sched = _demo_schedule()
+    fused = sched.fuse('i0', 'i1')
+    sched.split(fused, 128)
+    sched.bind(sched.loops[0], 'blockIdx.x')
+    sched.bind(sched.loops[1], 'threadIdx.x')
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((128, 4), dtype=np.float32)
+    b = np.full((128, 4), np.nan, dtype=np.float32)
+    run_kernel(sched.lower(), [a, b])
+    assert np.allclose(b, 2 * a)
+    return 'bind(blockIdx.x, threadIdx.x):\n' + sched.program_text()
+
+
 def bench_table1_primitives(benchmark):
     def run():
         sections = []

@@ -71,12 +71,23 @@ class MatmulTuner:
              try_split_k: bool = True,
              extra_read_bytes: float = 0.0,
              extra_write_bytes: float = 0.0,
-             batch: int = 1) -> TuningResult:
+             batch: int = 1,
+             precompiled: bool = False) -> TuningResult:
         """Find the best schedule for an ``m×n×k`` problem by full enumeration.
 
         Results are cached per problem key; a cache hit returns an equal
         result whose ``tuning_seconds`` is 0.0 (no clock time is charged —
         reporting the original tuning time would double-count it).
+
+        ``precompiled=True`` declares that this problem family's candidate
+        kernels were already compiled for another size (the hardware-centric
+        space is input-size independent, §4.3, so the candidate set is
+        identical): only the measurements are charged, not the compile
+        batch.  The chosen schedule is the true optimum either way.  The
+        split-k cross product can differ slightly between sizes
+        (``split_k_candidates`` depends on ``m``); those few size-specific
+        variants ride the family's compile budget rather than being
+        charged separately — a deliberate approximation.
 
         Split-k (paper §6.3.4) is only enumerated for un-batched problems:
         splitting the reduction exists to manufacture extra thread blocks
@@ -89,19 +100,21 @@ class MatmulTuner:
         of split-k candidates.
         """
         split_k_reason: Optional[str] = None
-        requested_split_k = try_split_k
         if try_split_k and batch != 1:
             try_split_k = False
             split_k_reason = (
                 f'batch={batch}: batching already multiplies the launch grid, '
                 f'so split-k cannot add useful parallelism (§6.3.4)')
-        # key on the *requested* flag: an explicit opt-out and a batch-forced
-        # disable enumerate the same space but must not alias, or the cached
-        # result's split_k_tried/split_k_disabled_reason would be wrong
+        # key on the *effective* flag: an explicit opt-out and a batch-forced
+        # disable enumerate the identical candidate space, so they share one
+        # enumeration (and one clock charge); each caller's own split-k
+        # decision metadata is restored on the way out
         key = (m, n, k, batch, None if space is None else tuple(space),
-               requested_split_k, round(extra_read_bytes), round(extra_write_bytes))
+               try_split_k, round(extra_read_bytes), round(extra_write_bytes))
         if key in self._cache:
-            return replace(self._cache[key], tuning_seconds=0.0)
+            return replace(self._cache[key], tuning_seconds=0.0,
+                           split_k_tried=try_split_k,
+                           split_k_disabled_reason=split_k_reason)
 
         if space is None:
             space = matmul_schedule_space(self.device)
@@ -126,8 +139,9 @@ class MatmulTuner:
                             m, n, k, cand, extra_read_bytes, extra_write_bytes, batch)
 
         num_candidates = len(latencies)
-        self.clock.charge_compile_batch(self.costs, num_candidates,
-                                        label=f'compile matmul {m}x{n}x{k}')
+        if not precompiled:
+            self.clock.charge_compile_batch(self.costs, num_candidates,
+                                            label=f'compile matmul {m}x{n}x{k}')
         self.clock.charge_measurements(self.costs, num_candidates,
                                        label=f'measure matmul {m}x{n}x{k}')
 

@@ -11,6 +11,7 @@
 | conv_bn_relu       | Figure 21  |
 | tensorrt_cmp       | Figure 22  |
 | ablations          | extra ablation studies |
+| serving            | serving simulation (PR 2, beyond the paper) |
 
 Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
 """
@@ -24,6 +25,8 @@ from .input_sensitivity import run_input_sensitivity, format_input_sensitivity
 from .batch_sizes import run_batch_sizes, format_batch_sizes
 from .conv_bn_relu import run_conv_bn_relu, format_conv_bn_relu
 from .tensorrt_cmp import run_tensorrt_cmp, format_tensorrt_cmp
+from .serving import (run_serving, format_serving, run_qps_sweep,
+                      format_qps_sweep)
 from . import ablations
 
 __all__ = [
@@ -37,5 +40,6 @@ __all__ = [
     'run_batch_sizes', 'format_batch_sizes',
     'run_conv_bn_relu', 'format_conv_bn_relu',
     'run_tensorrt_cmp', 'format_tensorrt_cmp',
+    'run_serving', 'format_serving', 'run_qps_sweep', 'format_qps_sweep',
     'ablations',
 ]

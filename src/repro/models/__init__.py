@@ -5,7 +5,8 @@ from .mobilenet import mobilenet_v2
 from .bert import bert_base
 from .gpt2 import gpt2
 
-__all__ = ['resnet50', 'inception_v3', 'mobilenet_v2', 'bert_base', 'gpt2']
+__all__ = ['resnet50', 'inception_v3', 'mobilenet_v2', 'bert_base', 'gpt2',
+           'MODEL_BUILDERS', 'for_batch']
 
 #: name -> builder, as used by the end-to-end experiments
 MODEL_BUILDERS = {
@@ -15,3 +16,19 @@ MODEL_BUILDERS = {
     'bert': bert_base,
     'gpt2': gpt2,
 }
+
+
+def for_batch(name: str, batch_size: int, **kwargs):
+    """Rebuild a zoo model at a given batch size (serving bucket hook).
+
+    Every builder takes ``batch_size``: the CNNs batch over images, the
+    transformers stack independent sequences.  ``kwargs`` forward to the
+    builder (e.g. ``image_size``/``layers`` for scaled-down smoke configs),
+    so a serving registry can pre-compile a ladder of batch buckets with
+    ``lambda b: for_batch(name, b)``.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f'unknown model {name!r}; have {sorted(MODEL_BUILDERS)}')
+    if batch_size < 1:
+        raise ValueError(f'batch_size must be >= 1, got {batch_size}')
+    return MODEL_BUILDERS[name](batch_size=batch_size, **kwargs)

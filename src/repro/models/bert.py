@@ -16,14 +16,33 @@ __all__ = ['bert_base', 'transformer_encoder_layer']
 
 def transformer_encoder_layer(wf: WeightFactory, x: Tensor, hidden: int, heads: int,
                               ffn: int, name: str, causal_mask: Tensor | None = None,
-                              pre_norm: bool = False) -> Tensor:
-    """One encoder layer: MHA + FFN with residuals and layer norms."""
-    seq = x.shape[0]
+                              pre_norm: bool = False, batch: int = 1) -> Tensor:
+    """One encoder layer: MHA + FFN with residuals and layer norms.
+
+    A batch of ``batch`` independent sequences is modeled by stacking the
+    activations to ``[batch*seq, hidden]`` (every linear becomes one larger
+    matmul) and batching attention over ``batch*heads``; sequences never mix,
+    so batching a request with padding cannot change its outputs.
+    """
+    seq = x.shape[0] // batch
     head_dim = hidden // heads
     scale = 1.0 / float(np.sqrt(head_dim))
 
     def split_heads(t: Tensor) -> Tensor:
-        return ops.transpose(ops.reshape(t, [seq, heads, head_dim]), [1, 0, 2])
+        # [batch*seq, hidden] -> [batch*heads, seq, head_dim]
+        if batch == 1:
+            return ops.transpose(ops.reshape(t, [seq, heads, head_dim]), [1, 0, 2])
+        t = ops.reshape(t, [batch, seq, heads, head_dim])
+        t = ops.transpose(t, [0, 2, 1, 3])
+        return ops.reshape(t, [batch * heads, seq, head_dim])
+
+    def merge_heads(t: Tensor) -> Tensor:
+        # [batch*heads, seq, head_dim] -> [batch*seq, hidden]
+        if batch == 1:
+            return ops.reshape(ops.transpose(t, [1, 0, 2]), [seq, hidden])
+        t = ops.reshape(t, [batch, heads, seq, head_dim])
+        t = ops.transpose(t, [0, 2, 1, 3])
+        return ops.reshape(t, [batch * seq, hidden])
 
     def ln_params(tag: str):
         return (wf.vector(hidden, name=f'{name}_{tag}_g', scale=0.02),
@@ -39,14 +58,14 @@ def transformer_encoder_layer(wf: WeightFactory, x: Tensor, hidden: int, heads: 
     k = split_heads(linear(wf, attn_in, hidden, name=f'{name}_k'))
     v = split_heads(linear(wf, attn_in, hidden, name=f'{name}_v'))
 
-    scores = ops.batch_matmul(q, ops.transpose(k, [0, 2, 1]))      # [heads, S, S]
+    scores = ops.batch_matmul(q, ops.transpose(k, [0, 2, 1]))      # [b*heads, S, S]
     scores = ops.mul(scores, from_numpy(np.float32(scale).reshape(()),
                                         name=f'{name}_scale'))
     if causal_mask is not None:
         scores = ops.add(scores, causal_mask)
     probs = ops.softmax(scores)
-    context = ops.batch_matmul(probs, v)                           # [heads, S, dh]
-    context = ops.reshape(ops.transpose(context, [1, 0, 2]), [seq, hidden])
+    context = ops.batch_matmul(probs, v)                           # [b*heads, S, dh]
+    context = merge_heads(context)
     attn_out = linear(wf, context, hidden, name=f'{name}_o')
     x = ops.add(x, attn_out)
     if not pre_norm:
@@ -62,13 +81,20 @@ def transformer_encoder_layer(wf: WeightFactory, x: Tensor, hidden: int, heads: 
 
 
 def bert_base(seq_length: int = 128, hidden: int = 768, layers: int = 12,
-              heads: int = 12, vocab_size: int = 30522, seed: int = 128) -> FlowGraph:
-    """Build the Bert-base encoder graph (token ids -> final hidden states)."""
+              heads: int = 12, vocab_size: int = 30522, seed: int = 128,
+              batch_size: int = 1) -> FlowGraph:
+    """Build the Bert-base encoder graph (token ids -> final hidden states).
+
+    ``batch_size > 1`` stacks independent sequences: input ids become
+    ``[batch*seq]`` and hidden states ``[batch*seq, hidden]`` (see
+    :func:`transformer_encoder_layer`).
+    """
     wf = WeightFactory(seed)
-    ids = symbol([seq_length], dtype='int32', name='input_ids')
+    ids = symbol([batch_size * seq_length], dtype='int32', name='input_ids')
     token_table = wf.matrix(vocab_size, hidden, name='token_emb')
     pos_table = wf.matrix(seq_length, hidden, name='pos_emb')
-    pos_ids = from_numpy(np.arange(seq_length, dtype=np.int32), name='positions')
+    pos_ids = from_numpy(np.tile(np.arange(seq_length, dtype=np.int32), batch_size),
+                         name='positions')
 
     x = ops.add(ops.embedding(token_table, ids), ops.embedding(pos_table, pos_ids))
     gamma = wf.vector(hidden, name='emb_ln_g', scale=0.02)
@@ -78,5 +104,6 @@ def bert_base(seq_length: int = 128, hidden: int = 768, layers: int = 12,
 
     for layer in range(layers):
         x = transformer_encoder_layer(wf, x, hidden, heads, 4 * hidden,
-                                      name=f'layer{layer}')
-    return trace(x, name=f'bert_s{seq_length}')
+                                      name=f'layer{layer}', batch=batch_size)
+    suffix = '' if batch_size == 1 else f'_b{batch_size}'
+    return trace(x, name=f'bert_s{seq_length}{suffix}')

@@ -18,13 +18,19 @@ __all__ = ['gpt2']
 
 def gpt2(seq_length: int = 128, hidden: int = 768, layers: int = 12,
          heads: int = 12, vocab_size: int = 50257, lm_head: bool = True,
-         seed: int = 124) -> FlowGraph:
-    """Build the GPT-2 (124M) graph: token ids -> logits (or hidden states)."""
+         seed: int = 124, batch_size: int = 1) -> FlowGraph:
+    """Build the GPT-2 (124M) graph: token ids -> logits (or hidden states).
+
+    ``batch_size > 1`` stacks independent sequences (ids ``[batch*seq]``,
+    activations ``[batch*seq, hidden]``); the ``[seq, seq]`` causal mask
+    broadcasts across the batched attention heads.
+    """
     wf = WeightFactory(seed)
-    ids = symbol([seq_length], dtype='int32', name='input_ids')
+    ids = symbol([batch_size * seq_length], dtype='int32', name='input_ids')
     token_table = wf.matrix(vocab_size, hidden, name='wte')
     pos_table = wf.matrix(seq_length, hidden, name='wpe')
-    pos_ids = from_numpy(np.arange(seq_length, dtype=np.int32), name='positions')
+    pos_ids = from_numpy(np.tile(np.arange(seq_length, dtype=np.int32), batch_size),
+                         name='positions')
     x = ops.add(ops.embedding(token_table, ids), ops.embedding(pos_table, pos_ids))
 
     causal = np.triu(np.full((seq_length, seq_length), -1e9, dtype=np.float32), k=1)
@@ -33,11 +39,12 @@ def gpt2(seq_length: int = 128, hidden: int = 768, layers: int = 12,
     for layer in range(layers):
         x = transformer_encoder_layer(wf, x, hidden, heads, 4 * hidden,
                                       name=f'h{layer}', causal_mask=mask,
-                                      pre_norm=True)
+                                      pre_norm=True, batch=batch_size)
     gamma = wf.vector(hidden, name='ln_f_g', scale=0.02)
     beta = wf.vector(hidden, name='ln_f_b', scale=0.02)
     one = from_numpy(np.ones((hidden,), dtype=np.float32), name='ln_f_one')
     x = ops.layer_norm(x, ops.add(one, gamma), beta)
     if lm_head:
         x = ops.matmul(x, ops.transpose(token_table, [1, 0]))
-    return trace(x, name=f'gpt2_s{seq_length}')
+    suffix = '' if batch_size == 1 else f'_b{batch_size}'
+    return trace(x, name=f'gpt2_s{seq_length}{suffix}')

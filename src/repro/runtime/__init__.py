@@ -1,9 +1,11 @@
 """Runtime: the Hidet compile pipeline, compilation cache, and executables."""
-from .cache import ScheduleCache, default_schedule_cache, task_signature
-from .compiled import CompiledOp, CompiledGraph
+from .cache import (ScheduleCache, default_schedule_cache, task_signature,
+                    task_family_signature)
+from .compiled import CompiledOp, CompiledGraph, CompileReport
 from .executor import HidetExecutor, optimize
 from .profiler import Measurement, benchmark
 
-__all__ = ['CompiledOp', 'CompiledGraph', 'HidetExecutor', 'optimize',
-           'ScheduleCache', 'default_schedule_cache', 'task_signature',
+__all__ = ['CompiledOp', 'CompiledGraph', 'CompileReport', 'HidetExecutor',
+           'optimize', 'ScheduleCache', 'default_schedule_cache',
+           'task_signature', 'task_family_signature',
            'Measurement', 'benchmark']

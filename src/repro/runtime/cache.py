@@ -23,6 +23,25 @@ a subsystem:
 This is the same lever AutoTVM/Ansor pull with their tuning-log files,
 except Hidet's records are tiny (one schedule per task class, not thousands
 of measurement trials).
+
+Serving-fleet extensions (PR 2):
+
+* **LRU eviction** — ``ScheduleCache(max_entries=...)`` caps the store with
+  least-recently-hit eviction (a hit refreshes recency); evictions are
+  surfaced in :attr:`ScheduleCache.stats`.
+* **Per-model namespaces** — entries remember which model owns them, so a
+  registry can report and export per-model slices of a shared cache without
+  giving up cross-model schedule sharing (the signature stays global).
+* **Merge-on-save** — :meth:`ScheduleCache.save` loads whatever is already
+  on disk and writes the union (in-memory records win conflicts), so two
+  executors sharing one cache file no longer clobber each other.
+* **Size-family transfer tier** — the hardware-centric space is input-size
+  independent (§4.3), so alongside the exact signature every matmul record
+  is indexed by a *family* key that drops the batch-scaled sizes.  An exact
+  miss whose family is already cached re-measures the space's candidate
+  kernels instead of recompiling them (compilation dominates the tuning
+  bill) — this is what makes growing a serving registry's batch-bucket
+  ladder cheap after the first bucket.
 """
 from __future__ import annotations
 
@@ -41,11 +60,11 @@ from ..ir.task import Task
 from ..sched.fusion import FusedTaskSpec
 
 __all__ = ['CACHE_FORMAT_VERSION', 'ScheduleCache', 'CacheEntry',
-           'task_signature', 'fusion_fingerprint', 'space_fingerprint',
-           'default_schedule_cache']
+           'task_signature', 'task_family_signature', 'fusion_fingerprint',
+           'space_fingerprint', 'default_schedule_cache']
 
 #: bump when the on-disk record layout or signature recipe changes
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 Schedule = Union[MatmulSchedule, ReduceSchedule]
 
@@ -143,6 +162,41 @@ def task_signature(task: Task, device: DeviceSpec,
     return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()
 
 
+#: attributes that scale with the serving batch rather than describing the
+#: problem's structure; the family signature drops ONLY these.  For a GEMM,
+#: ``n``/``k`` come from the weights and identify the layer, while ``m`` and
+#: ``batch`` grow with the bucket — two tasks differing only there are the
+#: same GEMM at different batch sizes (§4.3: hardware-centric schedules are
+#: input-size independent), not two different layers.
+_BATCH_SCALED_ATTRS = frozenset({'m', 'batch', 'reduce_size'})
+
+
+def task_family_signature(task: Task, device: DeviceSpec,
+                          extras: Iterable = ()) -> str:
+    """Batch-size-independent signature of a scheduling problem class.
+
+    Two tasks share a family when they differ only in the batch-scaled
+    sizes (``m``/``batch``) — e.g. one layer's GEMM at bucket 1 and bucket
+    8.  Structural sizes (``n``/``k``) stay in the key, so unrelated layers
+    do not collapse into one family — though layers that genuinely share
+    ``n``/``k``, dtypes, and fusion structure (only ``m`` differs) do, and
+    legitimately so.  Family members enumerate
+    the identical candidate set, so once one member is tuned (candidates
+    compiled), tuning another member is a *transfer hit*: re-measurement
+    only, no compile batch — and the chosen schedule is still the true
+    optimum for the new sizes.  Fusion shape and input shapes are
+    deliberately excluded: both scale with the batch.
+    """
+    kind = task.attrs.get('kind', task.name)
+    attrs = tuple(sorted((a, v) for a, v in task.attrs.items()
+                         if a not in _BATCH_SCALED_ATTRS
+                         and isinstance(v, (bool, int, float, str, type(None)))))
+    dtypes = (tuple(i.dtype.name for i in task.inputs), task.output.dtype.name)
+    payload = ('family', CACHE_FORMAT_VERSION, kind, attrs, dtypes,
+               _device_key(device), tuple(extras))
+    return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()
+
+
 # ---------------------------------------------------------------------------
 # schedule (de)serialization
 
@@ -174,15 +228,26 @@ class CacheEntry:
 
     kind: str                    # 'matmul' | 'reduce'
     schedule: Schedule
+    #: owning model (registry bookkeeping); empty for anonymous compiles
+    namespace: str = ''
+    #: size-independent family key, when the record is transferable
+    family: Optional[str] = None
 
     def to_json(self) -> dict:
-        return {'kind': self.kind, 'schedule': _schedule_to_dict(self.schedule)}
+        data = {'kind': self.kind, 'schedule': _schedule_to_dict(self.schedule)}
+        if self.namespace:
+            data['namespace'] = self.namespace
+        if self.family:
+            data['family'] = self.family
+        return data
 
     @staticmethod
     def from_json(data: dict) -> 'CacheEntry':
         kind = data['kind']
         return CacheEntry(kind=kind,
-                          schedule=_schedule_from_dict(kind, data['schedule']))
+                          schedule=_schedule_from_dict(kind, data['schedule']),
+                          namespace=data.get('namespace', ''),
+                          family=data.get('family'))
 
 
 # ---------------------------------------------------------------------------
@@ -194,13 +259,25 @@ class ScheduleCache:
 
     In-memory by default; :meth:`save`/:meth:`load` round-trip the records
     through a versioned JSON file so tuning cost is paid once per task class
-    per device, ever.
+    per device, ever.  ``max_entries`` bounds the store with
+    least-recently-hit eviction (insertion counts as a use, every hit
+    refreshes recency); the family index enables cross-size transfer hits
+    (see :func:`task_family_signature`).
     """
 
-    def __init__(self):
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError('max_entries must be a positive integer or None')
+        #: signature → entry, ordered oldest-use first (python dicts preserve
+        #: insertion order; a hit re-inserts at the end)
         self._entries: dict[str, CacheEntry] = {}
+        #: family signature → exact signature of the newest family member
+        self._families: dict[str, str] = {}
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.transfer_hits = 0
+        self.evictions = 0
 
     # -- core protocol -----------------------------------------------------
 
@@ -209,12 +286,56 @@ class ScheduleCache:
         entry = self._entries.get(signature)
         if entry is not None and entry.kind == kind:
             self.hits += 1
+            self._touch(signature)
             return entry.schedule
         self.misses += 1
         return None
 
-    def put(self, signature: str, kind: str, schedule: Schedule) -> None:
-        self._entries[signature] = CacheEntry(kind=kind, schedule=schedule)
+    def get_transfer(self, family: str, kind: str) -> Optional[Schedule]:
+        """Check an exact miss against the family tier (other sizes).
+
+        A non-``None`` return means a same-family record exists, i.e. the
+        family's candidate kernels are already compiled and the caller may
+        re-tune this size charging measurements only.  Counts a *transfer*
+        hit, not a regular hit.  Returns ``None`` when no member is cached.
+        """
+        signature = self._families.get(family)
+        if signature is None:
+            return None
+        entry = self._entries.get(signature)
+        if entry is None or entry.kind != kind:
+            return None
+        self.transfer_hits += 1
+        self._touch(signature)
+        return entry.schedule
+
+    def put(self, signature: str, kind: str, schedule: Schedule,
+            namespace: str = '', family: Optional[str] = None) -> None:
+        self._entries.pop(signature, None)
+        self._entries[signature] = CacheEntry(kind=kind, schedule=schedule,
+                                              namespace=namespace, family=family)
+        if family is not None:
+            self._families[family] = signature
+        self._evict_over_cap()
+
+    def _touch(self, signature: str) -> None:
+        """Refresh LRU recency: move the entry to the young end."""
+        self._entries[signature] = self._entries.pop(signature)
+
+    def _evict_over_cap(self) -> None:
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            victim, entry = next(iter(self._entries.items()))
+            del self._entries[victim]
+            self.evictions += 1
+            if entry.family is not None and self._families.get(entry.family) == victim:
+                # keep the transfer tier alive: re-link the family to its
+                # youngest surviving member instead of dropping the index
+                for sig in reversed(self._entries):
+                    if self._entries[sig].family == entry.family:
+                        self._families[entry.family] = sig
+                        break
+                else:
+                    del self._families[entry.family]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -224,50 +345,100 @@ class ScheduleCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._families.clear()
         self.hits = 0
         self.misses = 0
+        self.transfer_hits = 0
+        self.evictions = 0
 
     @property
     def stats(self) -> dict[str, int]:
         return {'entries': len(self._entries),
-                'hits': self.hits, 'misses': self.misses}
+                'hits': self.hits, 'misses': self.misses,
+                'transfer_hits': self.transfer_hits,
+                'evictions': self.evictions}
+
+    def namespace_stats(self) -> dict[str, int]:
+        """Entry count per owning namespace ('' = anonymous compiles)."""
+        counts: dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.namespace] = counts.get(entry.namespace, 0) + 1
+        return counts
 
     # -- persistence -------------------------------------------------------
 
-    def to_json(self) -> dict:
+    def to_json(self, namespace: Optional[str] = None) -> dict:
+        """Serializable form; ``namespace`` restricts to one model's slice."""
+        entries = {sig: entry for sig, entry in self._entries.items()
+                   if namespace is None or entry.namespace == namespace}
         return {
             'version': CACHE_FORMAT_VERSION,
             'entries': {sig: entry.to_json()
-                        for sig, entry in sorted(self._entries.items())},
+                        for sig, entry in sorted(entries.items())},
         }
 
-    def save(self, path: str) -> None:
-        """Write the cache to a JSON file (atomic rename)."""
+    def save(self, path: str, namespace: Optional[str] = None) -> None:
+        """Write the cache to a JSON file (atomic rename, merge-on-save).
+
+        Records already in the file are preserved unless this cache holds a
+        newer record for the same signature, so executors sharing one cache
+        file union their work instead of clobbering each other.  The
+        load-merge-write sequence is not locked: it protects *interleaved*
+        savers (the common case — one save per registration), not two saves
+        racing in the same instant, which would need file locking.
+        An unreadable or version-mismatched existing file is overwritten.
+        """
+        data = self.to_json(namespace=namespace)
+        try:
+            with open(path, 'r', encoding='utf-8') as f:
+                on_disk = json.load(f)
+            if on_disk.get('version') == CACHE_FORMAT_VERSION:
+                merged = dict(on_disk.get('entries', {}))
+                merged.update(data['entries'])
+                data['entries'] = dict(sorted(merged.items()))
+        except (OSError, ValueError):
+            pass                         # no previous file, or not ours
         tmp = f'{path}.tmp'
         with open(tmp, 'w', encoding='utf-8') as f:
-            json.dump(self.to_json(), f, indent=1, sort_keys=True)
+            json.dump(data, f, indent=1, sort_keys=True)
         os.replace(tmp, path)
 
     def merge_json(self, data: dict) -> int:
-        """Merge records from a parsed cache file; returns entries added."""
+        """Merge records from a parsed cache file.
+
+        Returns the number of new entries actually *retained* — with a
+        ``max_entries`` cap, merged records can immediately evict each
+        other, so the count is taken after the merge, not per record.
+        """
         version = data.get('version')
         if version != CACHE_FORMAT_VERSION:
             raise ValueError(
                 f'schedule cache version mismatch: file has {version!r}, '
                 f'this build reads {CACHE_FORMAT_VERSION}')
-        added = 0
-        for sig, raw in data.get('entries', {}).items():
-            if sig not in self._entries:
-                added += 1
-            self._entries[sig] = CacheEntry.from_json(raw)
-        return added
+        file_entries = data.get('entries', {})
+        pre_existing = {sig for sig in file_entries if sig in self._entries}
+        for sig, raw in file_entries.items():
+            entry = CacheEntry.from_json(raw)
+            self.put(sig, entry.kind, entry.schedule,
+                     namespace=entry.namespace, family=entry.family)
+        return sum(1 for sig in file_entries
+                   if sig in self._entries and sig not in pre_existing)
+
+    def warm(self, path: str) -> int:
+        """Merge a saved cache file into this cache; returns entries added.
+
+        The warming API of the serving registry: point it at a persisted
+        cache and every previously tuned bucket compiles with zero simulated
+        tuning seconds.
+        """
+        with open(path, 'r', encoding='utf-8') as f:
+            return self.merge_json(json.load(f))
 
     @classmethod
     def load(cls, path: str) -> 'ScheduleCache':
         """Read a cache written by :meth:`save` into a fresh instance."""
         cache = cls()
-        with open(path, 'r', encoding='utf-8') as f:
-            cache.merge_json(json.load(f))
+        cache.warm(path)
         return cache
 
 

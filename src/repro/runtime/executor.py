@@ -48,8 +48,8 @@ from ..sched.fusion import apply_fusion
 from ..sched.reduce_template import build_reduce_module, is_last_axis_reduction, reduce_stats
 from ..sched.rule_based import ELEMENTWISE_BLOCK, build_rule_based_module
 from .cache import (ScheduleCache, default_schedule_cache, fusion_fingerprint,
-                    space_fingerprint, task_signature)
-from .compiled import CompiledGraph, CompiledOp
+                    space_fingerprint, task_family_signature, task_signature)
+from .compiled import CompiledGraph, CompiledOp, CompileReport
 
 __all__ = ['optimize', 'HidetExecutor']
 
@@ -67,12 +67,15 @@ class HidetExecutor:
                  double_buffer: bool = True,
                  try_split_k: bool = True,
                  build_ir: bool = False,
-                 cache: Optional[ScheduleCache] = None):
+                 cache: Optional[ScheduleCache] = None,
+                 enable_transfer: bool = False):
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
         self.space = space if space is not None else matmul_schedule_space(
             device, double_buffer=double_buffer)
         self.tuner = MatmulTuner(device, HIDET_TUNING_COSTS, self.clock)
+        #: device-only, like self.space — built once, not per reduce group
+        self._reduce_space = list(reduce_schedule_space(device))
         self.model = PerfModel(device)
         self.enable_fusion = enable_fusion
         self.try_split_k = try_split_k
@@ -81,33 +84,72 @@ class HidetExecutor:
         #: default is shared across executor instances (pass a fresh
         #: ``ScheduleCache()`` for an isolated, cold compile)
         self.cache = cache if cache is not None else default_schedule_cache()
+        #: when a matmul's size-family is already cached, re-tune new sizes
+        #: by re-measuring the (input-size independent, §4.3) candidate set
+        #: instead of recompiling it — same optimal schedule, a fraction of
+        #: the tuning bill.  Off by default so cold-compile cost experiments
+        #: stay comparable; the serving registry turns it on for its ladders
+        self.enable_transfer = enable_transfer
         #: restricted spaces must not consume full-space records (and vice
         #: versa), so the space digest is part of every matmul signature
         self._space_key = space_fingerprint(self.space)
         #: signature → built IRModule, so repeated identical groups (and
         #: repeated compiles through one executor) lower the IR once
         self._ir_cache: dict[tuple, object] = {}
+        #: namespace tag applied to cache records of the current compile()
+        self._namespace = ''
 
     # ------------------------------------------------------------------
 
-    def compile(self, graph: FlowGraph, name: str = '') -> CompiledGraph:
+    def compile(self, graph: FlowGraph, name: str = '',
+                namespace: str = '') -> CompiledGraph:
+        """Compile a flow graph; ``namespace`` tags new cache records with
+        their owning model (serving-registry bookkeeping)."""
         start = self.clock.elapsed_seconds
         hits0, misses0 = self.cache.hits, self.cache.misses
-        optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
-        if self.enable_fusion:
-            groups = partition_graph(optimized)
-        else:
-            groups = [FusedGroup(anchor=op) for op in optimized.nodes]
-        compiled_ops = [self._compile_group(g) for g in groups]
+        transfers0 = self.cache.transfer_hits
+        self._namespace = namespace
+        try:
+            optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
+            if self.enable_fusion:
+                groups = partition_graph(optimized)
+            else:
+                groups = [FusedGroup(anchor=op) for op in optimized.nodes]
+            compiled_ops = [self._compile_group(g) for g in groups]
+        finally:
+            self._namespace = ''
         return CompiledGraph(
             graph=optimized,
             ops=compiled_ops,
             device=self.device,
-            tuning_seconds=self.clock.elapsed_seconds - start,
-            cache_hits=self.cache.hits - hits0,
-            cache_misses=self.cache.misses - misses0,
+            compile_report=CompileReport(
+                tuning_seconds=self.clock.elapsed_seconds - start,
+                cache_hits=self.cache.hits - hits0,
+                cache_misses=self.cache.misses - misses0,
+                transfer_hits=self.cache.transfer_hits - transfers0),
             name=name or f'hidet_{graph.name}',
         )
+
+    def compile_for_batches(self, for_batch, buckets: Sequence[int],
+                            name: str = '', namespace: str = '') -> dict[int, 'CompiledGraph']:
+        """Compile one model at a ladder of batch-size buckets.
+
+        ``for_batch(b)`` rebuilds the model's flow graph at batch size ``b``
+        (see :func:`repro.models.for_batch`).  Buckets compile in ascending
+        order so that, with :attr:`enable_transfer`, the smallest bucket
+        compiles each GEMM family's candidate kernels and every later bucket
+        re-tunes by measurement only (transfer hits); repeated compiles
+        through one executor also share the lowered-IR cache.  Returns
+        ``{bucket: CompiledGraph}``.
+        """
+        compiled: dict[int, CompiledGraph] = {}
+        for bucket in sorted(set(buckets)):
+            if bucket < 1:
+                raise ValueError(f'batch bucket must be >= 1, got {bucket}')
+            graph = for_batch(bucket)
+            compiled[bucket] = self.compile(
+                graph, name=name and f'{name}_b{bucket}', namespace=namespace)
+        return compiled
 
     # ------------------------------------------------------------------
 
@@ -149,13 +191,40 @@ class HidetExecutor:
                                           self._space_key, self.try_split_k)
         sched = self.cache.get(signature, kind='matmul')
         if sched is None:
+            # only misses need the family key (transfer lookup / put index).
+            # The family carries the fusion *structure* (which epilogue ops
+            # are fused in — that changes the compiled kernel) but not the
+            # fused tensor shapes or weight identities (those scale with the
+            # batch / distinguish q from k from v without changing the
+            # compiled program), so transfer stays honest about what was
+            # actually compiled while still working across buckets
+            fusion_structure = (
+                tuple(step.task.name for step in spec.spec.epilogue_steps),
+                len(spec.spec.prologue_defs))
+            # the *effective* split-k decision (batch>1 disables it, §6.3.4)
+            # is part of the family: a family tuned without split-k variants
+            # must not grant compile-free status to a problem that will
+            # enumerate the split-k cross product
+            family = task_family_signature(task, self.device,
+                                           extras=('matmul', self._space_key,
+                                                   self.try_split_k and batch == 1,
+                                                   fusion_structure))
+            # a family hit means this GEMM's candidate kernels were already
+            # compiled at another batch size; the hardware-centric space is
+            # input-size independent (§4.3), so tuning this size re-measures
+            # the same candidates without recompiling them — the schedule is
+            # still the true optimum for this problem
+            precompiled = (self.enable_transfer and
+                           self.cache.get_transfer(family, kind='matmul')
+                           is not None)
             result = self.tuner.tune(m, n, k, space=self.space,
                                      try_split_k=self.try_split_k,
                                      extra_read_bytes=extra_read,
                                      extra_write_bytes=extra_write,
-                                     batch=batch)
+                                     batch=batch, precompiled=precompiled)
             sched = result.best_schedule
-            self.cache.put(signature, 'matmul', sched)
+            self.cache.put(signature, 'matmul', sched,
+                           namespace=self._namespace, family=family)
         stats = matmul_template.matmul_stats(
             m, n, k, sched, name=group.name, batch=batch,
             extra_read_bytes=extra_read, extra_write_bytes=extra_write)
@@ -196,21 +265,25 @@ class HidetExecutor:
 
     def _compile_reduce_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
         task = group.anchor.task
+        space = self._reduce_space
+        if not space:
+            # the device admits no valid reduce schedule: fall back to the
+            # rule-based serial reduction — checked before the cache lookup
+            # so the permanent fallback does not count a miss every compile
+            # (a warm compile must report zero misses)
+            return self._compile_rule_based_group(group, spec)
         signature = self._group_signature(group, spec, 'reduce')
         best_sched = self.cache.get(signature, kind='reduce')
         if best_sched is None:
             # mini-tune over the reduce space with the analytic model
             best_latency = math.inf
-            for sched in reduce_schedule_space(self.device):
+            for sched in space:
                 latency = sum(self.model.latency(s)
                               for s in reduce_stats(task, sched, name=group.name))
                 if latency < best_latency:
                     best_sched, best_latency = sched, latency
-            if best_sched is None:
-                # the device admits no valid reduce schedule: fall back to
-                # the rule-based serial reduction instead of crashing
-                return self._compile_rule_based_group(group, spec)
-            self.cache.put(signature, 'reduce', best_sched)
+            self.cache.put(signature, 'reduce', best_sched,
+                           namespace=self._namespace)
         stats = reduce_stats(task, best_sched, name=group.name)
         stats = [self._adjust_fused_stats(s, spec) for s in stats]
         latency = sum(self.model.latency(s) for s in stats)

@@ -1,0 +1,38 @@
+"""Simulated model serving on top of the Hidet compilation pipeline.
+
+The layer the ROADMAP's "serve heavy traffic" north star needs above
+``optimize()``: a cache-warmed :class:`ModelRegistry` that pre-compiles
+batch-size buckets per model, a :class:`DynamicBatcher` that coalesces a
+request stream into bucket dispatches, a discrete-event
+:class:`ServerSimulator` driven by ``gpusim`` modeled latencies, and a
+:class:`ServeStats` report layer (throughput, tail latency, occupancy,
+schedule-cache economics).
+
+Quickstart::
+
+    from repro.serve import (ModelRegistry, ServerSimulator, BatchingPolicy,
+                             poisson_trace, format_serving_report)
+
+    registry = ModelRegistry()
+    registry.register('resnet50', max_batch=8)       # compiles buckets 1,2,4,8
+    sim = ServerSimulator(registry, BatchingPolicy(max_batch=8, max_wait=2e-3))
+    result = sim.run(poisson_trace(qps=2000, num_requests=1000,
+                                   models=['resnet50'], seed=0))
+    print(format_serving_report(result.stats(registry)))
+"""
+from .trace import Request, poisson_trace, bursty_trace, merge_traces
+from .batcher import (Batch, BatchingPolicy, DynamicBatcher,
+                      smallest_covering_bucket)
+from .registry import ModelRegistry, RegisteredModel, bucket_ladder
+from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
+                        BATCH_OVERHEAD_SECONDS)
+from .stats import ServeStats, compute_stats, format_serving_report
+
+__all__ = [
+    'Request', 'poisson_trace', 'bursty_trace', 'merge_traces',
+    'Batch', 'BatchingPolicy', 'DynamicBatcher', 'smallest_covering_bucket',
+    'ModelRegistry', 'RegisteredModel', 'bucket_ladder',
+    'ServerSimulator', 'SimulationResult', 'CompletedRequest',
+    'BATCH_OVERHEAD_SECONDS',
+    'ServeStats', 'compute_stats', 'format_serving_report',
+]

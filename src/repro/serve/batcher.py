@@ -1,0 +1,152 @@
+"""Dynamic batching: coalesce queued requests into batch-bucket dispatches.
+
+The policy is the classic two-knob batcher (max batch size, max queue wait):
+a model's queue dispatches as soon as it can fill ``max_batch`` samples, or
+once its head-of-line request has waited ``max_wait`` seconds — whichever
+comes first.  Dispatches go to the smallest compiled bucket that covers the
+coalesced size; the slack between batch size and bucket capacity is padding,
+paid for in the bucket's modeled latency and reported as occupancy.
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .trace import Request
+
+__all__ = ['BatchingPolicy', 'Batch', 'DynamicBatcher',
+           'smallest_covering_bucket']
+
+
+def smallest_covering_bucket(size: int, buckets: Sequence[int]) -> int:
+    """The smallest compiled bucket that fits ``size`` samples."""
+    covering = [b for b in buckets if b >= size]
+    if not covering:
+        raise ValueError(f'no bucket covers batch size {size} '
+                         f'(buckets: {sorted(buckets)})')
+    return min(covering)
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Dispatch knobs of the dynamic batcher.
+
+    ``max_batch=1`` with ``max_wait=0`` degenerates to no-batching serving
+    (the baseline the benchmark compares against).
+    """
+
+    max_batch: int = 8
+    max_wait: float = 2e-3       # seconds a head-of-line request may queue
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError('max_batch must be >= 1')
+        if self.max_wait < 0:
+            raise ValueError('max_wait must be non-negative')
+
+
+@dataclass
+class Batch:
+    """A coalesced dispatch: requests of one model bound for one bucket."""
+
+    model: str
+    requests: list[Request]
+    bucket: int                  # compiled bucket capacity serving the batch
+    dispatch_time: float
+
+    @property
+    def size(self) -> int:
+        """Real samples in the batch (the rest of the bucket is padding)."""
+        return sum(r.size for r in self.requests)
+
+    @property
+    def occupancy(self) -> float:
+        return self.size / self.bucket
+
+
+class DynamicBatcher:
+    """Per-model FIFO queues + the dispatch-readiness rule.
+
+    The simulator owns time; the batcher is a pure policy object — it never
+    looks at a wall clock, only at the ``now`` the caller passes in.
+    """
+
+    def __init__(self, policy: BatchingPolicy, buckets: dict[str, Sequence[int]]):
+        self.policy = policy
+        #: model -> compiled bucket ladder it can dispatch to
+        self.buckets = {name: tuple(sorted(ladder))
+                        for name, ladder in buckets.items()}
+        for name, ladder in self.buckets.items():
+            if not ladder:
+                raise ValueError(f'model {name!r} has no compiled buckets')
+            if policy.max_batch > ladder[-1]:
+                raise ValueError(
+                    f'policy max_batch={policy.max_batch} exceeds the largest '
+                    f'compiled bucket ({ladder[-1]}) of model {name!r}')
+        self._queues: dict[str, deque[Request]] = {name: deque()
+                                                   for name in self.buckets}
+        #: running queued-sample count per model — the dispatch decision
+        #: runs after every simulator event, so it must not re-walk a
+        #: backlogged queue (that would make overloaded runs quadratic)
+        self._queued_samples: dict[str, int] = {name: 0 for name in self.buckets}
+
+    # -- queueing ------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        if request.model not in self._queues:
+            raise KeyError(f'model {request.model!r} is not registered')
+        if request.size > self.policy.max_batch:
+            raise ValueError(
+                f'request {request.req_id} carries {request.size} samples, '
+                f'more than max_batch={self.policy.max_batch}')
+        self._queues[request.model].append(request)
+        self._queued_samples[request.model] += request.size
+
+    def pending(self, model: Optional[str] = None) -> int:
+        """Queued samples for one model (or all models)."""
+        if model is not None:
+            return self._queued_samples[model]
+        return sum(self._queued_samples.values())
+
+    # -- dispatch decision -----------------------------------------------------
+
+    def _eligible(self, model: str, now: float) -> bool:
+        queue = self._queues[model]
+        if not queue:
+            return False
+        if self._queued_samples[model] >= self.policy.max_batch:
+            return True
+        # same expression as next_deadline(), so a timer armed for the
+        # deadline always finds its queue eligible (float addition does not
+        # guarantee (a + w) - a >= w)
+        return queue[0].arrival + self.policy.max_wait <= now
+
+    def pop_ready(self, now: float) -> Optional[Batch]:
+        """Form the next batch due at ``now``, or None if nothing is ready.
+
+        Among models whose queues are ready (full batch available, or the
+        head request hit its wait deadline), the one with the oldest head
+        request dispatches first — FIFO fairness across co-hosted models.
+        """
+        ready = [name for name in self._queues if self._eligible(name, now)]
+        if not ready:
+            return None
+        model = min(ready, key=lambda name: self._queues[name][0].arrival)
+        queue = self._queues[model]
+        taken: list[Request] = []
+        size = 0
+        while queue and size + queue[0].size <= self.policy.max_batch:
+            request = queue.popleft()
+            self._queued_samples[model] -= request.size
+            taken.append(request)
+            size += request.size
+        bucket = smallest_covering_bucket(size, self.buckets[model])
+        return Batch(model=model, requests=taken, bucket=bucket,
+                     dispatch_time=now)
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest head-of-line wait deadline across queues, or None."""
+        heads = [q[0].arrival + self.policy.max_wait
+                 for q in self._queues.values() if q]
+        return min(heads) if heads else None

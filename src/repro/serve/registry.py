@@ -1,0 +1,210 @@
+"""Cache-warmed model registry: named models × pre-compiled batch buckets.
+
+The registry is the deployment-facing face of the compiler: ``register()``
+a model and it pre-compiles a ladder of batch-size buckets (1, 2, 4, …,
+``max_batch``) through one shared :class:`~repro.runtime.executor.HidetExecutor`.
+Three properties make the ladder cheap:
+
+* buckets compile smallest-first with schedule *transfer* enabled: the
+  first bucket compiles and measures the candidate space, and each further
+  bucket re-measures the already-compiled candidates (§4.3 input-size
+  independence) — optimal schedules at a fraction of the tuning bill,
+  since compilation dominates it;
+* the shared :class:`~repro.runtime.cache.ScheduleCache` can be persisted
+  and re-warmed (``cache_path``), so a registry *restart* compiles every
+  previously seen bucket with exactly zero simulated tuning seconds;
+* all buckets of all models share the executor's lowered-IR cache.
+"""
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..graph.flow_graph import FlowGraph
+from ..gpusim.clock import SimulatedClock
+from ..gpusim.device import DeviceSpec, RTX3090
+from ..runtime.cache import ScheduleCache
+from ..runtime.compiled import CompiledGraph
+from ..runtime.executor import HidetExecutor
+from .batcher import smallest_covering_bucket
+
+__all__ = ['ModelRegistry', 'RegisteredModel', 'bucket_ladder']
+
+GraphBuilder = Callable[[int], FlowGraph]
+
+
+def bucket_ladder(max_batch: int) -> tuple[int, ...]:
+    """Powers of two up to ``max_batch``, always including ``max_batch``."""
+    if max_batch < 1:
+        raise ValueError('max_batch must be >= 1')
+    ladder = []
+    b = 1
+    while b < max_batch:
+        ladder.append(b)
+        b *= 2
+    ladder.append(max_batch)
+    return tuple(ladder)
+
+
+@dataclass
+class RegisteredModel:
+    """One registered model: its builder and the compiled bucket ladder."""
+
+    name: str
+    builder: GraphBuilder
+    buckets: dict[int, CompiledGraph]          # bucket size -> compiled graph
+    #: simulated tuning seconds charged while compiling the ladder
+    compile_seconds: float
+
+    @property
+    def bucket_sizes(self) -> tuple[int, ...]:
+        return tuple(sorted(self.buckets))
+
+    @property
+    def max_batch(self) -> int:
+        return self.bucket_sizes[-1]
+
+    def bucket_for(self, size: int) -> int:
+        """Smallest compiled bucket covering ``size`` samples."""
+        return smallest_covering_bucket(size, self.bucket_sizes)
+
+    def latency(self, bucket: int) -> float:
+        """Modeled serve-time seconds of one dispatch to ``bucket``."""
+        return self.buckets[bucket].latency
+
+    def cache_traffic(self) -> dict[str, int]:
+        """Schedule-cache traffic summed over the ladder's compiles."""
+        reports = [c.compile_report for c in self.buckets.values()]
+        return {'hits': sum(r.cache_hits for r in reports),
+                'misses': sum(r.cache_misses for r in reports),
+                'transfer_hits': sum(r.transfer_hits for r in reports)}
+
+
+class ModelRegistry:
+    """Register named models, pre-compile their batch buckets, stay warm.
+
+    ``cache_path`` names a persisted schedule-cache file: it is warmed from
+    disk at construction (if present) and re-saved (merge-on-save) after
+    every registration, so registries taking turns with the file converge
+    to one tuned cache (simultaneous saves would need file locking, which
+    the JSON store does not do).
+    """
+
+    def __init__(self, device: DeviceSpec = RTX3090,
+                 cache: Optional[ScheduleCache] = None,
+                 cache_path: Optional[str] = None,
+                 max_cache_entries: Optional[int] = None,
+                 enable_transfer: bool = True):
+        self.device = device
+        if cache is not None and max_cache_entries is not None:
+            raise ValueError('pass either an explicit cache or '
+                             'max_cache_entries, not both (a cap is only '
+                             'applied to the registry-owned cache)')
+        self.cache = cache if cache is not None else ScheduleCache(
+            max_entries=max_cache_entries)
+        self.cache_path = cache_path
+        if cache_path is not None and os.path.exists(cache_path):
+            try:
+                self.cache.warm(cache_path)
+            except (OSError, ValueError):
+                # stale format version or corrupt file: start cold; the next
+                # save() overwrites it (matching save()'s tolerance) — a bad
+                # cache file must never keep a fleet node from booting
+                pass
+        self.clock = SimulatedClock()
+        self.executor = HidetExecutor(device, clock=self.clock,
+                                      cache=self.cache,
+                                      enable_transfer=enable_transfer)
+        self.models: dict[str, RegisteredModel] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, name: str, builder: Optional[GraphBuilder] = None,
+                 max_batch: int = 8,
+                 buckets: Optional[Sequence[int]] = None) -> RegisteredModel:
+        """Register ``name`` and pre-compile its batch-bucket ladder.
+
+        ``builder(b)`` must rebuild the model's flow graph at batch size
+        ``b``; when omitted, the zoo model of that name is used (see
+        :func:`repro.models.for_batch`).  ``buckets`` overrides the default
+        power-of-two ladder up to ``max_batch``.
+        """
+        if name in self.models:
+            raise ValueError(f'model {name!r} is already registered')
+        if builder is None:
+            from ..models import for_batch
+            builder = lambda b: for_batch(name, b)   # noqa: E731
+        ladder = tuple(sorted(set(buckets))) if buckets else bucket_ladder(max_batch)
+        start = self.clock.elapsed_seconds
+        compiled = self.executor.compile_for_batches(
+            builder, ladder, name=name, namespace=name)
+        model = RegisteredModel(
+            name=name, builder=builder, buckets=compiled,
+            compile_seconds=self.clock.elapsed_seconds - start)
+        self.models[name] = model
+        if self.cache_path is not None:
+            self.save_cache()
+        return model
+
+    def add_bucket(self, name: str, bucket: int) -> CompiledGraph:
+        """Grow a registered model's ladder by one bucket.
+
+        With a warm cache this charges zero simulated tuning seconds (exact
+        hits); on a fresh size it costs re-measurement only (transfer hits).
+        """
+        model = self[name]
+        if bucket < 1:
+            raise ValueError(f'batch bucket must be >= 1, got {bucket}')
+        if bucket in model.buckets:
+            return model.buckets[bucket]
+        start = self.clock.elapsed_seconds
+        compiled = self.executor.compile(model.builder(bucket),
+                                         name=f'{name}_b{bucket}',
+                                         namespace=name)
+        model.buckets[bucket] = compiled
+        model.compile_seconds += self.clock.elapsed_seconds - start
+        if self.cache_path is not None:
+            self.save_cache()
+        return compiled
+
+    # -- lookup ------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> RegisteredModel:
+        if name not in self.models:
+            raise KeyError(f'model {name!r} is not registered '
+                           f'(have {sorted(self.models)})')
+        return self.models[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.models
+
+    def bucket_map(self) -> dict[str, tuple[int, ...]]:
+        """model name -> compiled bucket ladder (batcher wiring)."""
+        return {name: model.bucket_sizes for name, model in self.models.items()}
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def total_compile_seconds(self) -> float:
+        """Simulated tuning seconds across every registration (cold-start)."""
+        return sum(m.compile_seconds for m in self.models.values())
+
+    def stats(self) -> dict:
+        return {
+            'models': {name: {'buckets': list(model.bucket_sizes),
+                              'compile_seconds': model.compile_seconds,
+                              **model.cache_traffic()}
+                       for name, model in self.models.items()},
+            'cache': self.cache.stats,
+            'cache_namespaces': self.cache.namespace_stats(),
+        }
+
+    # -- persistence --------------------------------------------------------
+
+    def save_cache(self, path: Optional[str] = None) -> None:
+        """Persist the shared schedule cache (merge-on-save)."""
+        target = path or self.cache_path
+        if target is None:
+            raise ValueError('no cache path given and none configured')
+        self.cache.save(target)

@@ -1,0 +1,117 @@
+"""Request traces for the serving simulator.
+
+A trace is a time-ordered list of :class:`Request`\\ s.  Generators are
+seeded and fully deterministic: Poisson arrivals model steady load from many
+independent users; the bursty generator modulates a Poisson process with an
+on/off duty cycle (the diurnal-peak / thundering-herd shape that dynamic
+batchers are built for).  Sizes are samples per request — a request carrying
+``size`` samples occupies ``size`` slots of whatever batch bucket serves it.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ['Request', 'poisson_trace', 'bursty_trace', 'merge_traces']
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: ``size`` samples for ``model`` at ``arrival``."""
+
+    req_id: int
+    model: str
+    size: int                    # samples in this request (>= 1)
+    arrival: float               # seconds since trace start
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ValueError(f'request size must be >= 1, got {self.size}')
+        if self.arrival < 0:
+            raise ValueError('request arrival must be non-negative')
+
+
+ModelWeights = Union[Sequence[str], Mapping[str, float]]
+
+
+def _model_sampler(models: ModelWeights):
+    if isinstance(models, Mapping):
+        names = list(models)
+        weights = np.asarray([models[n] for n in names], dtype=float)
+        probs = weights / weights.sum()
+    else:
+        names = list(models)
+        probs = None
+    if not names:
+        raise ValueError('need at least one model name')
+    return names, probs
+
+
+def poisson_trace(qps: float, num_requests: int, models: ModelWeights,
+                  seed: int = 0, sizes: Sequence[int] = (1,),
+                  start: float = 0.0) -> list[Request]:
+    """Poisson arrivals at ``qps`` requests/second across ``models``.
+
+    ``models`` is a sequence (uniform mix) or a ``{name: weight}`` mapping;
+    ``sizes`` are the per-request sample counts to draw from uniformly.
+    """
+    if qps <= 0:
+        raise ValueError('qps must be positive')
+    rng = np.random.default_rng(seed)
+    names, probs = _model_sampler(models)
+    inter = rng.exponential(1.0 / qps, size=num_requests)
+    arrivals = start + np.cumsum(inter)
+    chosen = rng.choice(len(names), size=num_requests, p=probs)
+    chosen_sizes = rng.choice(list(sizes), size=num_requests)
+    return [Request(req_id=i, model=names[chosen[i]],
+                    size=int(chosen_sizes[i]), arrival=float(arrivals[i]))
+            for i in range(num_requests)]
+
+
+def bursty_trace(burst_qps: float, idle_qps: float, num_requests: int,
+                 models: ModelWeights, burst_seconds: float = 0.05,
+                 idle_seconds: float = 0.05, seed: int = 0,
+                 sizes: Sequence[int] = (1,)) -> list[Request]:
+    """On/off modulated Poisson arrivals: bursts at ``burst_qps``, troughs at
+    ``idle_qps`` (may be 0), alternating with the given phase lengths."""
+    if burst_qps <= 0:
+        raise ValueError('burst_qps must be positive')
+    if idle_qps < 0:
+        raise ValueError('idle_qps must be non-negative')
+    if burst_seconds <= 0:
+        # zero-length bursts with a silent trough would generate nothing
+        raise ValueError('burst_seconds must be positive')
+    if idle_seconds < 0:
+        raise ValueError('idle_seconds must be non-negative')
+    rng = np.random.default_rng(seed)
+    names, probs = _model_sampler(models)
+    requests: list[Request] = []
+    t, phase_end, in_burst = 0.0, burst_seconds, True
+    while len(requests) < num_requests:
+        rate = burst_qps if in_burst else idle_qps
+        if rate == 0.0:
+            t = phase_end
+            in_burst = not in_burst
+            phase_end = t + (burst_seconds if in_burst else idle_seconds)
+            continue
+        t += float(rng.exponential(1.0 / rate))
+        if t >= phase_end:
+            t = phase_end
+            in_burst = not in_burst
+            phase_end = t + (burst_seconds if in_burst else idle_seconds)
+            continue
+        requests.append(Request(
+            req_id=len(requests),
+            model=names[int(rng.choice(len(names), p=probs))],
+            size=int(rng.choice(list(sizes))),
+            arrival=t))
+    return requests
+
+
+def merge_traces(*traces: Sequence[Request]) -> list[Request]:
+    """Interleave traces by arrival time, renumbering request ids."""
+    merged = sorted((r for t in traces for r in t), key=lambda r: r.arrival)
+    return [Request(req_id=i, model=r.model, size=r.size, arrival=r.arrival)
+            for i, r in enumerate(merged)]

@@ -1,0 +1,53 @@
+"""Tier-1 smoke coverage of every benchmark module.
+
+Each ``benchmarks/bench_*.py`` exposes a ``smoke()`` entry: a reduced run of
+the same code path the full benchmark exercises, with its own assertions,
+returning the formatted report text.  This keeps the benchmark harness from
+rotting between full runs — a broken experiment module fails the test suite,
+not the next person who tries to reproduce a figure.
+"""
+import importlib
+import pathlib
+import sys
+import time
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / 'benchmarks'
+
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob('bench_*.py'))
+
+
+@pytest.fixture(scope='module', autouse=True)
+def _bench_on_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_every_benchmark_has_a_smoke_mode():
+    assert BENCH_MODULES, 'no benchmark modules found'
+    missing = [name for name in BENCH_MODULES
+               if not hasattr(importlib.import_module(name), 'smoke')]
+    assert not missing, f'benchmarks without smoke(): {missing}'
+
+
+@pytest.mark.parametrize('module_name',
+                         [m for m in BENCH_MODULES if m != 'bench_serving'])
+def test_benchmark_smoke(module_name):
+    module = importlib.import_module(module_name)
+    text = module.smoke()
+    assert isinstance(text, str) and text.strip(), (
+        f'{module_name}.smoke() must return a non-empty report')
+
+
+def test_bench_serving_smoke_cli_budget():
+    """The --smoke acceptance: a 200-request trace must finish in <10s."""
+    module = importlib.import_module('bench_serving')
+    start = time.monotonic()
+    text = module.smoke()
+    elapsed = time.monotonic() - start
+    assert 'throughput' in text
+    assert elapsed < 10.0, f'bench_serving --smoke took {elapsed:.1f}s'

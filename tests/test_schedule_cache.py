@@ -73,7 +73,8 @@ class TestScheduleCacheCore:
         assert cache.get('sig', kind='matmul') == MatmulSchedule()
         # a reduce lookup must not be served a matmul schedule
         assert cache.get('sig', kind='reduce') is None
-        assert cache.stats == {'entries': 1, 'hits': 1, 'misses': 2}
+        assert cache.stats == {'entries': 1, 'hits': 1, 'misses': 2,
+                               'transfer_hits': 0, 'evictions': 0}
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
 
