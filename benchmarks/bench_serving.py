@@ -1,9 +1,14 @@
 """Serving benchmark: co-hosted ResNet-50 + Bert under dynamic batching.
 
 Produces the serving report (throughput, p50/p95/p99, occupancy, cache hit
-rate, warm-start accounting) and a QPS -> p99 curve over a shared registry.
-Also runnable as a script: ``python bench_serving.py [--smoke]`` — the
-``--smoke`` mode replays a 200-request trace over scaled-down model shapes
+rate, warm-start accounting), a QPS -> p99 curve over a shared registry, and
+— with ``--fleet`` — the multi-replica story: model-affine vs round-robin
+placement, a heterogeneous replica warming from a foreign-device cache, and
+an SLO-driven fleet-sizing sweep.
+
+Also runnable as a script: ``python bench_serving.py [--smoke] [--fleet]`` —
+``--smoke`` replays a reduced trace over scaled-down model shapes, and
+``--smoke --fleet`` runs the reduced fleet experiments; each path finishes
 in well under ten seconds.
 """
 import argparse
@@ -11,6 +16,9 @@ import argparse
 from common import write_result
 from repro.experiments.serving import (format_qps_sweep, format_serving,
                                        run_qps_sweep, run_serving)
+from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing,
+                                     format_placement, run_device_transfer,
+                                     run_fleet_sizing, run_placement_comparison)
 
 
 def _check(report):
@@ -23,6 +31,24 @@ def _check(report):
     assert report.dynamic.mean_occupancy > 0.5
     assert report.dynamic.latency_p99_ms >= report.dynamic.latency_p50_ms
     assert report.dynamic.cache_hit_rate > 0.0
+
+
+def _check_fleet(placement, transfer, sizing):
+    # the acceptance claims of the fleet subsystem
+    assert (placement.model_affine.cache_hit_rate
+            > placement.round_robin.cache_hit_rate), (
+        'model-affine placement must beat round-robin on cache hit rate')
+    assert (placement.model_affine.latency_p99_ms
+            < placement.round_robin.latency_p99_ms), (
+        'model-affine placement must beat round-robin on p99')
+    assert (placement.model_affine_growth_seconds
+            < placement.round_robin_growth_seconds)
+    assert transfer.device_transfer_hits > 0
+    assert transfer.warm_seconds < 0.5 * transfer.cold_seconds, (
+        'device-family transfer must cut the tuning bill substantially')
+    assert transfer.latency_penalty >= 1.0       # re-validated, not magical
+    assert sizing.chosen is not None, 'the sizing sweep must find a config'
+    assert sizing.chosen.stats.latency_p99_ms <= sizing.slo_p99_ms
 
 
 def bench_serving(benchmark):
@@ -56,6 +82,32 @@ def bench_serving_qps_curve(benchmark):
     write_result('serving_qps_curve', format_qps_sweep(points))
 
 
+def _run_fleet(smoke: bool) -> str:
+    """The three fleet experiments at one scale, checked and formatted."""
+    if smoke:
+        placement = run_placement_comparison(num_replicas=2, num_requests=400,
+                                             buckets=(1, 2), grown_bucket=4,
+                                             smoke=True)
+        transfer = run_device_transfer(model='bert', buckets=(1, 2), smoke=True)
+        sizing = run_fleet_sizing(slo_p99_ms=1.0, qps=6000, num_requests=400,
+                                  max_replicas=3, buckets=(1, 2, 4), smoke=True)
+    else:
+        placement = run_placement_comparison()
+        transfer = run_device_transfer()
+        sizing = run_fleet_sizing(slo_p99_ms=3.0, qps=2000, num_requests=2000)
+    _check_fleet(placement, transfer, sizing)
+    return '\n\n'.join([format_placement(placement),
+                        format_device_transfer(transfer),
+                        format_fleet_sizing(sizing)])
+
+
+def bench_serving_fleet(benchmark):
+    """Fleet acceptance: placement, cross-device warm-up, SLO sizing."""
+    text = benchmark.pedantic(lambda: _run_fleet(smoke=False),
+                              rounds=1, iterations=1)
+    write_result('serving_fleet', text)
+
+
 def smoke() -> str:
     """Reduced serving run (scaled-down models, 200-request trace)."""
     report = run_serving(num_requests=200, buckets=(1, 4), smoke=True)
@@ -63,12 +115,26 @@ def smoke() -> str:
     return format_serving(report)
 
 
+def fleet_smoke() -> str:
+    """Reduced fleet experiments (tiny transformer pair, <10s)."""
+    return _run_fleet(smoke=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--smoke', action='store_true',
-                        help='200-request trace over scaled-down models (<10s)')
+                        help='reduced traces over scaled-down models (<10s)')
+    parser.add_argument('--fleet', action='store_true',
+                        help='run the multi-replica fleet experiments')
     args = parser.parse_args(argv)
-    if args.smoke:
+    if args.fleet:
+        text = _run_fleet(smoke=args.smoke)
+        if args.smoke:
+            print(text)
+        else:
+            write_result('serving_fleet', text)
+            print(text)
+    elif args.smoke:
         print(smoke())
     else:
         report = run_serving()

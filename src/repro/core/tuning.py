@@ -157,3 +157,35 @@ class MatmulTuner:
         )
         self._cache[key] = result
         return result
+
+    def retarget(self, m: int, n: int, k: int, sched: MatmulSchedule,
+                 extra_read_bytes: float = 0.0, extra_write_bytes: float = 0.0,
+                 batch: int = 1) -> TuningResult:
+        """Adopt a schedule tuned on a *different* device (device-family
+        transfer): compile that one candidate for the local architecture and
+        measure it, instead of enumerating the space.
+
+        Charges one compile plus one measurement — the foreign kernel must be
+        rebuilt for the local arch, but the enumerate-compile-measure bill of
+        a full tune is skipped.  Unlike a size-family transfer the adopted
+        schedule is not guaranteed optimal for this device; the caller is
+        expected to have validated it (``sched.is_valid(local_device)``)
+        before retargeting.
+        """
+        start = self.clock.elapsed_seconds
+        latency = self.measure(m, n, k, sched,
+                               extra_read_bytes, extra_write_bytes, batch)
+        self.clock.charge_compile_batch(self.costs, 1,
+                                        label=f'compile retarget {m}x{n}x{k}')
+        self.clock.charge_measurements(self.costs, 1,
+                                       label=f'measure retarget {m}x{n}x{k}')
+        return TuningResult(
+            best_schedule=sched,
+            best_latency=latency,
+            num_candidates=1,
+            tuning_seconds=self.clock.elapsed_seconds - start,
+            latencies={sched: latency},
+            split_k_tried=False,
+            split_k_disabled_reason='adopted a foreign-device schedule '
+                                    '(device-family transfer)',
+        )

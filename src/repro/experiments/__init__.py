@@ -12,6 +12,7 @@
 | tensorrt_cmp       | Figure 22  |
 | ablations          | extra ablation studies |
 | serving            | serving simulation (PR 2, beyond the paper) |
+| fleet              | multi-replica fleet: placement, cross-device warm-up, SLO sizing (PR 3) |
 
 Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
 """
@@ -27,6 +28,9 @@ from .conv_bn_relu import run_conv_bn_relu, format_conv_bn_relu
 from .tensorrt_cmp import run_tensorrt_cmp, format_tensorrt_cmp
 from .serving import (run_serving, format_serving, run_qps_sweep,
                       format_qps_sweep)
+from .fleet import (run_placement_comparison, format_placement,
+                    run_device_transfer, format_device_transfer,
+                    run_fleet_sizing, format_fleet_sizing)
 from . import ablations
 
 __all__ = [
@@ -41,5 +45,8 @@ __all__ = [
     'run_conv_bn_relu', 'format_conv_bn_relu',
     'run_tensorrt_cmp', 'format_tensorrt_cmp',
     'run_serving', 'format_serving', 'run_qps_sweep', 'format_qps_sweep',
+    'run_placement_comparison', 'format_placement',
+    'run_device_transfer', 'format_device_transfer',
+    'run_fleet_sizing', 'format_fleet_sizing',
     'ablations',
 ]

@@ -1,0 +1,401 @@
+"""Fleet experiments: placement, cross-device warm-up, SLO-driven sizing.
+
+The PR 3 layer above :mod:`repro.experiments.serving`: the same co-hosted
+ResNet-50 + Bert workload, scaled from one simulated GPU to an N-replica
+fleet.  Three claims are measured:
+
+* **model-affine placement beats round-robin** on schedule-cache hit rate
+  and p99 latency.  Each replica's cache is LRU-bounded to one model's
+  working set, so co-hosting both models (round-robin hosts everything
+  everywhere) evicts whichever model registered first; when the fleet later
+  grows every ladder by one bucket, affine replicas ride the cross-size
+  transfer tier while round-robin replicas re-tune from scratch.  Affine
+  also concentrates each model's request stream on its home replicas, so
+  batches fill faster and the tail shortens;
+* **a heterogeneous replica warms from a foreign-device cache**: a
+  laptop-class part joining an RTX3090 fleet adopts the foreign schedules
+  through the device-family transfer tier (validated against the local
+  device, re-measured at one compile + one measurement per GEMM family)
+  and tunes for measurably fewer simulated seconds than a cold replica;
+* **SLO-driven sizing**: given a p99 target and a trace, walk replica
+  counts and batching knobs to the cheapest config that meets it, with
+  admission control bounding queue growth past saturation.
+"""
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..gpusim.device import DeviceSpec, LAPTOP_GPU, RTX3090
+from ..runtime.cache import ScheduleCache
+from ..serve import (BATCH_OVERHEAD_SECONDS, BatchingPolicy, Fleet,
+                     FleetSimulator, LeastLoadedPlacement,
+                     ModelAffinePlacement, ModelRegistry,
+                     RoundRobinPlacement, ServeStats, poisson_trace)
+from .serving import FULL_MODELS, _zoo_builder
+
+__all__ = ['FLEET_SMOKE_MODELS', 'PlacementReport', 'run_placement_comparison',
+           'format_placement', 'DeviceTransferReport', 'run_device_transfer',
+           'format_device_transfer', 'FleetSizingPoint', 'FleetSizingReport',
+           'run_fleet_sizing', 'format_fleet_sizing']
+
+#: even smaller than serving's SMOKE_MODELS: a fleet compiles a model once
+#: per hosting replica, so the smoke budget divides by the replica count.
+#: A transformer pair (few GEMM families each, near-equal service times)
+#: keeps the whole --smoke --fleet benchmark under its ten-second budget;
+#: distinct hidden sizes keep the two models' GEMM families distinct, as
+#: they are for the full-mode ResNet-50 + Bert pair
+FLEET_SMOKE_MODELS = {
+    'bert': {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+             'hidden': 32, 'heads': 2},
+    'gpt2': {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+             'hidden': 48, 'heads': 4},
+}
+
+
+def _register_models(target, model_cfgs: dict, buckets, built: dict) -> None:
+    for name, kwargs in model_cfgs.items():
+        target.register(name, builder=_zoo_builder(name, kwargs, built),
+                        buckets=buckets)
+
+
+def _probe_models(model_cfgs: dict, buckets, built: dict,
+                  device: DeviceSpec) -> tuple[int, dict[str, float]]:
+    """One single-model registry per model: (cache bound, capacities).
+
+    The cache bound is the entry count of the *largest* single model — the
+    placement experiment caps each replica's cache there, so a replica
+    hosting one model keeps its whole working set resident while a replica
+    co-hosting two cannot (the capacity pressure that makes cache affinity
+    visible).  The capacities are requests/second one replica sustains for
+    each model alone at the largest bucket — they size the trace's
+    per-model weights and the offered load.
+    """
+    bound = 1
+    capacities: dict[str, float] = {}
+    top = max(buckets)
+    for name, kwargs in model_cfgs.items():
+        registry = ModelRegistry(device=device)
+        registry.register(name, builder=_zoo_builder(name, kwargs, built),
+                          buckets=buckets)
+        bound = max(bound, len(registry.cache))
+        capacities[name] = top / (registry[name].latency(top)
+                                  + BATCH_OVERHEAD_SECONDS)
+    return bound, capacities
+
+
+# ---------------------------------------------------------------------------
+# placement comparison
+
+
+@dataclass
+class PlacementReport:
+    """Round-robin vs model-affine on one fleet and trace."""
+
+    num_replicas: int
+    qps: float
+    num_requests: int
+    cache_bound: int                        # per-replica cache entry cap
+    grown_bucket: int                       # the ladder-growth wave's bucket
+    round_robin: ServeStats
+    model_affine: ServeStats
+    #: simulated tuning seconds each policy paid to grow every ladder
+    round_robin_growth_seconds: float = 0.0
+    model_affine_growth_seconds: float = 0.0
+
+    @property
+    def p99_gain(self) -> float:
+        """Round-robin p99 over model-affine p99 (>1 means affine wins)."""
+        return (self.round_robin.latency_p99_ms
+                / self.model_affine.latency_p99_ms)
+
+
+def _grow_ladders(fleet: Fleet, bucket: int) -> float:
+    """Add ``bucket`` to every hosted ladder; returns tuning seconds paid."""
+    before = fleet.total_compile_seconds
+    for replica in fleet.replicas:
+        for name in sorted(replica.registry.models):
+            replica.registry.add_bucket(name, bucket)
+    return fleet.total_compile_seconds - before
+
+
+def run_placement_comparison(num_replicas: int = 4,
+                             num_requests: int = 2000,
+                             buckets=(1, 2, 4),
+                             grown_bucket: int = 8,
+                             max_wait: float = 2e-3,
+                             offered_load_factor: float = 0.85,
+                             seed: int = 0,
+                             smoke: bool = False) -> PlacementReport:
+    """Co-hosted ResNet-50 + Bert on an N-replica fleet, two policies.
+
+    Each replica's schedule cache is bounded to one model's working set
+    (measured, not guessed), both fleets serve the same Poisson trace, and
+    then every ladder grows by ``grown_bucket``.  The trace weights each
+    model by its fully-batched per-replica capacity, so every model's
+    offered share saturates the same number of replicas — under model-affine
+    placement each home group then runs at the same utilization, making the
+    policy comparison about batching and cache quality rather than about one
+    model's raw heaviness.  Offered load is ``offered_load_factor`` × the
+    fleet's aggregate fully-batched capacity; the default sits just below
+    saturation, the regime where batching quality shows up in the tail.
+    """
+    model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
+    built: dict = {}
+    bound, capacities = _probe_models(model_cfgs, buckets, built, RTX3090)
+
+    # capacity-proportional mix: fleet capacity is num_replicas/num_models
+    # replicas per model times that model's solo capacity, and each model's
+    # offered share loads its (affine) home group equally
+    per_model_replicas = num_replicas / len(capacities)
+    fleet_capacity = per_model_replicas * sum(capacities.values())
+    qps = offered_load_factor * fleet_capacity
+    trace = poisson_trace(qps=qps, num_requests=num_requests,
+                          models=capacities, seed=seed)
+    policy = BatchingPolicy(max_batch=max(buckets), max_wait=max_wait)
+
+    stats: dict[str, ServeStats] = {}
+    growth: dict[str, float] = {}
+    for placement in (RoundRobinPlacement(), ModelAffinePlacement()):
+        fleet = Fleet([RTX3090] * num_replicas, placement=placement,
+                      max_cache_entries=bound)
+        _register_models(fleet, model_cfgs, buckets, built)
+        fleet.build()
+        result = FleetSimulator(fleet, policy).run(trace)
+        growth[placement.name] = _grow_ladders(fleet, grown_bucket)
+        # stats *after* the growth wave so cache traffic includes it
+        stats[placement.name] = result.stats()
+
+    return PlacementReport(
+        num_replicas=num_replicas,
+        qps=qps,
+        num_requests=num_requests,
+        cache_bound=bound,
+        grown_bucket=grown_bucket,
+        round_robin=stats['round_robin'],
+        model_affine=stats['model_affine'],
+        round_robin_growth_seconds=growth['round_robin'],
+        model_affine_growth_seconds=growth['model_affine'],
+    )
+
+
+def format_placement(report: PlacementReport) -> str:
+    rr, ma = report.round_robin, report.model_affine
+    lines = [
+        f'Placement comparison: {report.num_replicas} replicas, co-hosted '
+        f'models, per-replica cache capped at {report.cache_bound} entries',
+        f'  offered load {report.qps:.0f} qps, {report.num_requests} requests, '
+        f'then every ladder grows to bucket {report.grown_bucket}',
+        f'  {"policy":>14s} {"p99 ms":>9s} {"occupancy":>10s} '
+        f'{"hit rate":>9s} {"growth tuning s":>16s}',
+        f'  {"round-robin":>14s} {rr.latency_p99_ms:9.3f} '
+        f'{rr.mean_occupancy * 100:9.0f}% {rr.cache_hit_rate * 100:8.0f}% '
+        f'{report.round_robin_growth_seconds:16.1f}',
+        f'  {"model-affine":>14s} {ma.latency_p99_ms:9.3f} '
+        f'{ma.mean_occupancy * 100:9.0f}% {ma.cache_hit_rate * 100:8.0f}% '
+        f'{report.model_affine_growth_seconds:16.1f}',
+        f'  model-affine p99 gain: {report.p99_gain:.2f}x',
+    ]
+    return '\n'.join(lines)
+
+
+# ---------------------------------------------------------------------------
+# cross-device warm-up
+
+
+@dataclass
+class DeviceTransferReport:
+    """A laptop-class replica warming from an RTX3090 fleet's cache."""
+
+    donor_device: str
+    target_device: str
+    cold_seconds: float                  # tuning bill of a cold target replica
+    warm_seconds: float                  # same ladder via device-family transfer
+    device_transfer_hits: int
+    #: modeled serve latency of bucket 1: adopted schedule vs local optimum
+    warm_latency_ms: float
+    cold_latency_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Cold tuning seconds over warm (how much the transfer tier saves)."""
+        return self.cold_seconds / self.warm_seconds if self.warm_seconds else float('inf')
+
+    @property
+    def latency_penalty(self) -> float:
+        """Adopted-schedule latency over locally-optimal latency (>= 1)."""
+        return self.warm_latency_ms / self.cold_latency_ms
+
+
+def run_device_transfer(model: str = 'resnet50', buckets=(1, 2, 4),
+                        donor: DeviceSpec = RTX3090,
+                        target: DeviceSpec = LAPTOP_GPU,
+                        smoke: bool = False) -> DeviceTransferReport:
+    """Tune on ``donor``, persist the cache, warm a ``target`` replica.
+
+    The target replica re-validates every adopted schedule against its own
+    :class:`DeviceSpec` and re-measures it locally (one compile + one
+    measurement per GEMM family), so its tuning bill is a fraction of a
+    cold tune; the price is a possibly slightly sub-optimal schedule, which
+    the report surfaces as ``latency_penalty``.
+    """
+    model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
+    kwargs = model_cfgs.get(model, {})
+    built: dict = {}
+    builder = _zoo_builder(model, kwargs, built)
+
+    with tempfile.TemporaryDirectory(prefix='repro_fleet_') as tmp:
+        path = os.path.join(tmp, 'donor_schedules.json')
+        donor_registry = ModelRegistry(device=donor, cache_path=path)
+        donor_registry.register(model, builder=builder, buckets=buckets)
+
+        cold = ModelRegistry(device=target)
+        cold.register(model, builder=builder, buckets=buckets)
+
+        warm = ModelRegistry(device=target, cache=ScheduleCache.load(path),
+                             enable_device_transfer=True)
+        warm.register(model, builder=builder, buckets=buckets)
+
+    traffic = warm[model].cache_traffic()
+    first = min(buckets)
+    return DeviceTransferReport(
+        donor_device=donor.name,
+        target_device=target.name,
+        cold_seconds=cold.total_compile_seconds,
+        warm_seconds=warm.total_compile_seconds,
+        device_transfer_hits=traffic['device_transfer_hits'],
+        warm_latency_ms=warm[model].latency(first) * 1e3,
+        cold_latency_ms=cold[model].latency(first) * 1e3,
+    )
+
+
+def format_device_transfer(report: DeviceTransferReport) -> str:
+    lines = [
+        f'Cross-device warm-up: {report.target_device} replica joining a '
+        f'{report.donor_device} fleet',
+        f'  cold tune on {report.target_device}: '
+        f'{report.cold_seconds:.1f} simulated tuning seconds',
+        f'  warm from {report.donor_device} cache: '
+        f'{report.warm_seconds:.1f} s '
+        f'({report.device_transfer_hits} device-transfer hits, '
+        f'{report.speedup:.1f}x faster)',
+        f'  adopted-schedule latency penalty: '
+        f'{(report.latency_penalty - 1) * 100:.1f}% vs local optimum '
+        f'({report.warm_latency_ms:.3f} vs {report.cold_latency_ms:.3f} ms)',
+    ]
+    return '\n'.join(lines)
+
+
+# ---------------------------------------------------------------------------
+# SLO-driven fleet sizing
+
+
+@dataclass
+class FleetSizingPoint:
+    """One candidate config of the sizing sweep."""
+
+    num_replicas: int
+    max_wait: float
+    stats: ServeStats
+    meets_slo: bool
+
+    @property
+    def p99_ms(self) -> float:
+        return self.stats.latency_p99_ms
+
+
+@dataclass
+class FleetSizingReport:
+    """The sweep's full grid plus the cheapest config meeting the SLO."""
+
+    slo_p99_ms: float
+    max_rejection_rate: float
+    qps: float
+    num_requests: int
+    points: list[FleetSizingPoint] = field(default_factory=list)
+    chosen: Optional[FleetSizingPoint] = None
+
+
+def run_fleet_sizing(slo_p99_ms: float, qps: float,
+                     num_requests: int = 2000,
+                     max_replicas: int = 6,
+                     max_wait_knobs: Sequence[float] = (2e-3, 5e-4),
+                     max_queue: int = 64,
+                     max_rejection_rate: float = 0.01,
+                     buckets=(1, 2, 4, 8),
+                     seed: int = 0,
+                     smoke: bool = False) -> FleetSizingReport:
+    """Walk replica counts and batching knobs to the cheapest SLO-meeting config.
+
+    Drives the QPS→p99 curve backwards: given a p99 target and an offered
+    load, replica counts are tried smallest-first (replicas are the cost)
+    and, per count, every ``max_wait`` knob; the first config whose p99 meets
+    the SLO with a rejection rate at most ``max_rejection_rate`` wins.
+    Admission control (``max_queue`` samples per model queue) bounds backlog
+    growth past saturation, so undersized fleets report high *rejection*
+    instead of a meaningless divergent p99.
+
+    Tuning is paid once: the model set compiles into a temporary cache file
+    first, and every candidate fleet warms from it (exact hits, zero
+    simulated tuning seconds) — sweeping fleet sizes costs no re-tuning,
+    which is itself the schedule-reuse story at fleet scale.
+    """
+    model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
+    built: dict = {}
+    names = sorted(model_cfgs)
+    trace = poisson_trace(qps=qps, num_requests=num_requests, models=names,
+                          seed=seed)
+
+    report = FleetSizingReport(slo_p99_ms=slo_p99_ms,
+                               max_rejection_rate=max_rejection_rate,
+                               qps=qps, num_requests=num_requests)
+    with tempfile.TemporaryDirectory(prefix='repro_sizing_') as tmp:
+        path = os.path.join(tmp, 'schedules.json')
+        donor = ModelRegistry(cache_path=path)
+        _register_models(donor, model_cfgs, buckets, built)
+
+        for n in range(1, max_replicas + 1):
+            for max_wait in max_wait_knobs:
+                fleet = Fleet([RTX3090] * n, placement=LeastLoadedPlacement(),
+                              warm_from=path)
+                _register_models(fleet, model_cfgs, buckets, built)
+                policy = BatchingPolicy(max_batch=max(buckets),
+                                        max_wait=max_wait,
+                                        max_queue=max_queue)
+                stats = FleetSimulator(fleet, policy).run(trace).stats(
+                    cold_start_seconds=0.0)
+                meets = (stats.latency_p99_ms <= slo_p99_ms
+                         and stats.rejection_rate <= max_rejection_rate)
+                point = FleetSizingPoint(num_replicas=n, max_wait=max_wait,
+                                         stats=stats, meets_slo=meets)
+                report.points.append(point)
+                if meets and report.chosen is None:
+                    report.chosen = point
+            if report.chosen is not None:
+                break
+    return report
+
+
+def format_fleet_sizing(report: FleetSizingReport) -> str:
+    lines = [
+        f'Fleet sizing: p99 SLO {report.slo_p99_ms:.2f} ms at '
+        f'{report.qps:.0f} qps ({report.num_requests} requests, '
+        f'rejections <= {report.max_rejection_rate * 100:.0f}%)',
+        f'  {"replicas":>9s} {"max_wait ms":>12s} {"p99 ms":>9s} '
+        f'{"rejected":>9s} {"occupancy":>10s}  verdict']
+    for p in report.points:
+        verdict = 'MEETS SLO' if p.meets_slo else 'misses'
+        lines.append(
+            f'  {p.num_replicas:9d} {p.max_wait * 1e3:12.2f} '
+            f'{p.p99_ms:9.3f} {p.stats.rejection_rate * 100:8.1f}% '
+            f'{p.stats.mean_occupancy * 100:9.0f}%  {verdict}')
+    if report.chosen is not None:
+        lines.append(
+            f'  cheapest config: {report.chosen.num_replicas} replicas, '
+            f'max_wait {report.chosen.max_wait * 1e3:.2f} ms '
+            f'(p99 {report.chosen.p99_ms:.3f} ms)')
+    else:
+        lines.append('  no config within the sweep met the SLO')
+    return '\n'.join(lines)

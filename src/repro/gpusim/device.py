@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ['DeviceSpec', 'RTX3090', 'A100', 'LAPTOP_GPU']
+__all__ = ['DeviceSpec', 'device_family_key', 'RTX3090', 'A100', 'LAPTOP_GPU']
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,23 @@ class DeviceSpec:
     @property
     def max_warps_per_sm(self) -> int:
         return self.max_threads_per_sm // self.warp_size
+
+
+def device_family_key(device: DeviceSpec) -> tuple:
+    """Launch-compatibility class of a device (the cross-device transfer gate).
+
+    Two devices belong to the same *family* when a candidate kernel
+    enumerated for one can at least launch on the other: the per-block and
+    per-thread limits that bound the schedule space must agree.  Capacity
+    parameters (SM count, bandwidth, peak FLOPS, shared memory per SM) are
+    deliberately excluded — they change which candidate is *fastest*, which
+    re-measurement on the local device handles, not which candidates exist.
+    Per-candidate differences inside a family (e.g. a schedule whose shared
+    memory tile exceeds a smaller device's per-block limit) are caught by
+    :meth:`~repro.core.schedule.MatmulSchedule.is_valid` at transfer time.
+    """
+    return (device.warp_size, device.max_threads_per_block,
+            device.max_registers_per_thread)
 
 
 #: The paper's evaluation GPU (Section 6.1).

@@ -42,6 +42,21 @@ Serving-fleet extensions (PR 2):
   kernels instead of recompiling them (compilation dominates the tuning
   bill) — this is what makes growing a serving registry's batch-bucket
   ladder cheap after the first bucket.
+
+Fleet extensions (PR 3):
+
+* **Device-family transfer tier** — schedules are hardware-centric, so a
+  record tuned on one device is a strong candidate on a launch-compatible
+  one (same warp size and per-block/per-thread limits,
+  :func:`repro.gpusim.device.device_family_key`).  Every matmul record is
+  additionally indexed by a *device-family* key
+  (:func:`task_device_family_signature`) that drops the device spec
+  entirely; a replica warming from a foreign device's cache validates the
+  foreign schedule against its local :class:`DeviceSpec` and re-measures
+  just that candidate (one compile + one measurement) instead of tuning the
+  whole space — see :meth:`ScheduleCache.get_device_transfer` and the
+  ``enable_device_transfer`` knob of
+  :class:`~repro.runtime.executor.HidetExecutor`.
 """
 from __future__ import annotations
 
@@ -52,7 +67,7 @@ from dataclasses import asdict, astuple, dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..core.schedule import MatmulSchedule, ReduceSchedule
-from ..gpusim.device import DeviceSpec
+from ..gpusim.device import DeviceSpec, device_family_key
 from ..ir.compute import GridCompute, ReduceCompute, TensorInput
 from ..ir.expr import (BinaryExpr, BlockIndex, Call, Cast, Constant, Expr,
                        IfThenElse, TensorElement, ThreadIndex, Var)
@@ -60,11 +75,12 @@ from ..ir.task import Task
 from ..sched.fusion import FusedTaskSpec
 
 __all__ = ['CACHE_FORMAT_VERSION', 'ScheduleCache', 'CacheEntry',
-           'task_signature', 'task_family_signature', 'fusion_fingerprint',
+           'task_signature', 'task_family_signature',
+           'task_device_family_signature', 'fusion_fingerprint',
            'space_fingerprint', 'default_schedule_cache']
 
 #: bump when the on-disk record layout or signature recipe changes
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 Schedule = Union[MatmulSchedule, ReduceSchedule]
 
@@ -171,6 +187,22 @@ def task_signature(task: Task, device: DeviceSpec,
 _BATCH_SCALED_ATTRS = frozenset({'m', 'batch', 'reduce_size'})
 
 
+def _task_class_payload(task: Task) -> tuple:
+    """Batch-size-independent description of a scheduling problem class.
+
+    The shared core of both family tiers: task kind, the non-batch-scaled
+    scalar attributes, and the input/output dtypes.  Keeping it in one place
+    guarantees the size-family and device-family tiers always key on the
+    same notion of "problem class".
+    """
+    kind = task.attrs.get('kind', task.name)
+    attrs = tuple(sorted((a, v) for a, v in task.attrs.items()
+                         if a not in _BATCH_SCALED_ATTRS
+                         and isinstance(v, (bool, int, float, str, type(None)))))
+    dtypes = (tuple(i.dtype.name for i in task.inputs), task.output.dtype.name)
+    return (kind, attrs, dtypes)
+
+
 def task_family_signature(task: Task, device: DeviceSpec,
                           extras: Iterable = ()) -> str:
     """Batch-size-independent signature of a scheduling problem class.
@@ -187,13 +219,32 @@ def task_family_signature(task: Task, device: DeviceSpec,
     optimum for the new sizes.  Fusion shape and input shapes are
     deliberately excluded: both scale with the batch.
     """
-    kind = task.attrs.get('kind', task.name)
-    attrs = tuple(sorted((a, v) for a, v in task.attrs.items()
-                         if a not in _BATCH_SCALED_ATTRS
-                         and isinstance(v, (bool, int, float, str, type(None)))))
-    dtypes = (tuple(i.dtype.name for i in task.inputs), task.output.dtype.name)
-    payload = ('family', CACHE_FORMAT_VERSION, kind, attrs, dtypes,
+    payload = ('family', CACHE_FORMAT_VERSION, *_task_class_payload(task),
                _device_key(device), tuple(extras))
+    return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()
+
+
+def task_device_family_signature(task: Task, device: DeviceSpec,
+                                 extras: Iterable = ()) -> str:
+    """Device- and batch-size-independent signature of a problem class.
+
+    The third and loosest signature tier (exact > size-family >
+    device-family): the full device spec is replaced by its
+    launch-compatibility class (:func:`repro.gpusim.device.device_family_key`
+    — warp size and per-block/per-thread limits), and the batch-scaled sizes
+    are dropped exactly as in :func:`task_family_signature`.  Two tasks
+    sharing a device family describe the same GEMM layer targeted at devices
+    that can launch each other's candidate kernels — so a schedule tuned on
+    one device is a *validated starting point* on the other, not a blind
+    guess.  Unlike a size-family hit (whose adopted schedule is provably
+    still optimal, §4.3), a device-family hit trades a possibly sub-optimal
+    schedule for skipping the whole enumerate-compile-measure bill; the
+    caller must re-validate the record against the local
+    :class:`~repro.gpusim.device.DeviceSpec` and re-measure it there.
+    """
+    payload = ('device-family', CACHE_FORMAT_VERSION,
+               *_task_class_payload(task), device_family_key(device),
+               tuple(extras))
     return hashlib.sha256(repr(payload).encode('utf-8')).hexdigest()
 
 
@@ -232,6 +283,8 @@ class CacheEntry:
     namespace: str = ''
     #: size-independent family key, when the record is transferable
     family: Optional[str] = None
+    #: device- and size-independent family key (cross-device transfer tier)
+    device_family: Optional[str] = None
 
     def to_json(self) -> dict:
         data = {'kind': self.kind, 'schedule': _schedule_to_dict(self.schedule)}
@@ -239,6 +292,8 @@ class CacheEntry:
             data['namespace'] = self.namespace
         if self.family:
             data['family'] = self.family
+        if self.device_family:
+            data['device_family'] = self.device_family
         return data
 
     @staticmethod
@@ -247,7 +302,8 @@ class CacheEntry:
         return CacheEntry(kind=kind,
                           schedule=_schedule_from_dict(kind, data['schedule']),
                           namespace=data.get('namespace', ''),
-                          family=data.get('family'))
+                          family=data.get('family'),
+                          device_family=data.get('device_family'))
 
 
 # ---------------------------------------------------------------------------
@@ -273,10 +329,13 @@ class ScheduleCache:
         self._entries: dict[str, CacheEntry] = {}
         #: family signature → exact signature of the newest family member
         self._families: dict[str, str] = {}
+        #: device-family signature → exact signature of the newest member
+        self._device_families: dict[str, str] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.transfer_hits = 0
+        self.device_transfer_hits = 0
         self.evictions = 0
 
     # -- core protocol -----------------------------------------------------
@@ -291,6 +350,22 @@ class ScheduleCache:
         self.misses += 1
         return None
 
+    def _get_indexed(self, index: dict[str, str], key: str, kind: str,
+                     validate=None) -> Optional[Schedule]:
+        """Shared lookup of both transfer tiers: follow ``index`` to the
+        newest member, check kind and ``validate``, refresh recency.  The
+        caller counts the appropriate hit kind on a non-``None`` return."""
+        signature = index.get(key)
+        if signature is None:
+            return None
+        entry = self._entries.get(signature)
+        if entry is None or entry.kind != kind:
+            return None
+        if validate is not None and not validate(entry.schedule):
+            return None
+        self._touch(signature)
+        return entry.schedule
+
     def get_transfer(self, family: str, kind: str) -> Optional[Schedule]:
         """Check an exact miss against the family tier (other sizes).
 
@@ -299,23 +374,42 @@ class ScheduleCache:
         re-tune this size charging measurements only.  Counts a *transfer*
         hit, not a regular hit.  Returns ``None`` when no member is cached.
         """
-        signature = self._families.get(family)
-        if signature is None:
-            return None
-        entry = self._entries.get(signature)
-        if entry is None or entry.kind != kind:
-            return None
-        self.transfer_hits += 1
-        self._touch(signature)
-        return entry.schedule
+        schedule = self._get_indexed(self._families, family, kind)
+        if schedule is not None:
+            self.transfer_hits += 1
+        return schedule
+
+    def get_device_transfer(self, device_family: str, kind: str,
+                            validate=None) -> Optional[Schedule]:
+        """Check a miss against the device-family tier (other devices).
+
+        A non-``None`` return is a schedule tuned for a launch-compatible
+        device on the same problem class: the caller may adopt it by
+        compiling and measuring *that one candidate* locally instead of
+        tuning the whole space.  ``validate`` (e.g.
+        ``lambda s: s.is_valid(local_device)``) is applied before anything is
+        counted — a record that fails local validation is not a transfer
+        hit, and ``None`` is returned so the caller falls back to a full
+        tune.  Counts a *device transfer* hit, separate from regular and
+        size-family hits.
+        """
+        schedule = self._get_indexed(self._device_families, device_family,
+                                     kind, validate)
+        if schedule is not None:
+            self.device_transfer_hits += 1
+        return schedule
 
     def put(self, signature: str, kind: str, schedule: Schedule,
-            namespace: str = '', family: Optional[str] = None) -> None:
+            namespace: str = '', family: Optional[str] = None,
+            device_family: Optional[str] = None) -> None:
         self._entries.pop(signature, None)
-        self._entries[signature] = CacheEntry(kind=kind, schedule=schedule,
-                                              namespace=namespace, family=family)
+        self._entries[signature] = CacheEntry(
+            kind=kind, schedule=schedule, namespace=namespace,
+            family=family, device_family=device_family)
         if family is not None:
             self._families[family] = signature
+        if device_family is not None:
+            self._device_families[device_family] = signature
         self._evict_over_cap()
 
     def _touch(self, signature: str) -> None:
@@ -327,15 +421,22 @@ class ScheduleCache:
             victim, entry = next(iter(self._entries.items()))
             del self._entries[victim]
             self.evictions += 1
-            if entry.family is not None and self._families.get(entry.family) == victim:
-                # keep the transfer tier alive: re-link the family to its
-                # youngest surviving member instead of dropping the index
-                for sig in reversed(self._entries):
-                    if self._entries[sig].family == entry.family:
-                        self._families[entry.family] = sig
-                        break
-                else:
-                    del self._families[entry.family]
+            self._relink_index(self._families, victim, entry.family, 'family')
+            self._relink_index(self._device_families, victim,
+                               entry.device_family, 'device_family')
+
+    def _relink_index(self, index: dict[str, str], victim: str,
+                      key: Optional[str], attr: str) -> None:
+        """Keep a transfer tier alive across eviction: re-link ``key`` to its
+        youngest surviving member instead of dropping the index."""
+        if key is None or index.get(key) != victim:
+            return
+        for sig in reversed(self._entries):
+            if getattr(self._entries[sig], attr) == key:
+                index[key] = sig
+                break
+        else:
+            del index[key]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -346,9 +447,11 @@ class ScheduleCache:
     def clear(self) -> None:
         self._entries.clear()
         self._families.clear()
+        self._device_families.clear()
         self.hits = 0
         self.misses = 0
         self.transfer_hits = 0
+        self.device_transfer_hits = 0
         self.evictions = 0
 
     @property
@@ -356,6 +459,7 @@ class ScheduleCache:
         return {'entries': len(self._entries),
                 'hits': self.hits, 'misses': self.misses,
                 'transfer_hits': self.transfer_hits,
+                'device_transfer_hits': self.device_transfer_hits,
                 'evictions': self.evictions}
 
     def namespace_stats(self) -> dict[str, int]:
@@ -420,7 +524,8 @@ class ScheduleCache:
         for sig, raw in file_entries.items():
             entry = CacheEntry.from_json(raw)
             self.put(sig, entry.kind, entry.schedule,
-                     namespace=entry.namespace, family=entry.family)
+                     namespace=entry.namespace, family=entry.family,
+                     device_family=entry.device_family)
         return sum(1 for sig in file_entries
                    if sig in self._entries and sig not in pre_existing)
 

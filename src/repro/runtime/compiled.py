@@ -35,6 +35,10 @@ class CompileReport:
     #: exact misses whose size-family was already compiled at another batch
     #: size, re-tuned for the measurement cost only (§4.3 size independence)
     transfer_hits: int = 0
+    #: exact misses served by adopting a launch-compatible foreign device's
+    #: schedule — validated against the local DeviceSpec and re-measured at
+    #: one compile + one measurement (the cross-device transfer tier)
+    device_transfer_hits: int = 0
 
 
 @dataclass

@@ -27,10 +27,12 @@
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..core.schedule import MatmulSchedule, ReduceSchedule
-from ..core.space import matmul_schedule_space, reduce_schedule_space
+from ..core.space import (matmul_schedule_space, reduce_schedule_space,
+                          split_k_candidates)
 from ..core.tuning import MatmulTuner, HIDET_TUNING_COSTS
 from ..graph.flow_graph import FlowGraph
 from ..graph.passes import (build_group_spec, fold_constants, lower_conv_to_gemm,
@@ -48,7 +50,8 @@ from ..sched.fusion import apply_fusion
 from ..sched.reduce_template import build_reduce_module, is_last_axis_reduction, reduce_stats
 from ..sched.rule_based import ELEMENTWISE_BLOCK, build_rule_based_module
 from .cache import (ScheduleCache, default_schedule_cache, fusion_fingerprint,
-                    space_fingerprint, task_family_signature, task_signature)
+                    space_fingerprint, task_device_family_signature,
+                    task_family_signature, task_signature)
 from .compiled import CompiledGraph, CompiledOp, CompileReport
 
 __all__ = ['optimize', 'HidetExecutor']
@@ -68,7 +71,8 @@ class HidetExecutor:
                  try_split_k: bool = True,
                  build_ir: bool = False,
                  cache: Optional[ScheduleCache] = None,
-                 enable_transfer: bool = False):
+                 enable_transfer: bool = False,
+                 enable_device_transfer: bool = False):
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
         self.space = space if space is not None else matmul_schedule_space(
@@ -90,9 +94,24 @@ class HidetExecutor:
         #: the tuning bill.  Off by default so cold-compile cost experiments
         #: stay comparable; the serving registry turns it on for its ladders
         self.enable_transfer = enable_transfer
+        #: when a cache warmed from a *different* device holds this matmul's
+        #: device family, adopt its schedule after validating it against the
+        #: local DeviceSpec: one compile + one measurement instead of tuning
+        #: the space.  The adopted schedule is not guaranteed optimal here
+        #: (devices differ in capacity), which is why this is a separate
+        #: opt-in from enable_transfer — heterogeneous fleets turn it on to
+        #: warm new replicas from their neighbours' caches
+        self.enable_device_transfer = enable_device_transfer
         #: restricted spaces must not consume full-space records (and vice
         #: versa), so the space digest is part of every matmul signature
         self._space_key = space_fingerprint(self.space)
+        #: the space's base configurations (split-k variants are derived per
+        #: problem), used to confine device-family transfers: the space key
+        #: itself is device-derived and cannot appear in a cross-device
+        #: signature, so membership is checked at adoption time instead —
+        #: a restricted-space executor must not adopt (and re-cache) a
+        #: foreign schedule its own space excludes
+        self._space_base = frozenset(replace(s, split_k=1) for s in self.space)
         #: signature → built IRModule, so repeated identical groups (and
         #: repeated compiles through one executor) lower the IR once
         self._ir_cache: dict[tuple, object] = {}
@@ -108,6 +127,7 @@ class HidetExecutor:
         start = self.clock.elapsed_seconds
         hits0, misses0 = self.cache.hits, self.cache.misses
         transfers0 = self.cache.transfer_hits
+        device_transfers0 = self.cache.device_transfer_hits
         self._namespace = namespace
         try:
             optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
@@ -126,7 +146,9 @@ class HidetExecutor:
                 tuning_seconds=self.clock.elapsed_seconds - start,
                 cache_hits=self.cache.hits - hits0,
                 cache_misses=self.cache.misses - misses0,
-                transfer_hits=self.cache.transfer_hits - transfers0),
+                transfer_hits=self.cache.transfer_hits - transfers0,
+                device_transfer_hits=(self.cache.device_transfer_hits
+                                      - device_transfers0)),
             name=name or f'hidet_{graph.name}',
         )
 
@@ -209,6 +231,14 @@ class HidetExecutor:
                                            extras=('matmul', self._space_key,
                                                    self.try_split_k and batch == 1,
                                                    fusion_structure))
+            # the device-family key additionally drops the device spec (and
+            # with it the device-derived space key): records become visible
+            # to launch-compatible foreign devices, which re-validate and
+            # re-measure them locally rather than trusting them blind
+            device_family = task_device_family_signature(
+                task, self.device,
+                extras=('matmul', self.try_split_k and batch == 1,
+                        fusion_structure))
             # a family hit means this GEMM's candidate kernels were already
             # compiled at another batch size; the hardware-centric space is
             # input-size independent (§4.3), so tuning this size re-measures
@@ -217,14 +247,47 @@ class HidetExecutor:
             precompiled = (self.enable_transfer and
                            self.cache.get_transfer(family, kind='matmul')
                            is not None)
-            result = self.tuner.tune(m, n, k, space=self.space,
-                                     try_split_k=self.try_split_k,
-                                     extra_read_bytes=extra_read,
-                                     extra_write_bytes=extra_write,
-                                     batch=batch, precompiled=precompiled)
+            foreign = None
+            if not precompiled and self.enable_device_transfer:
+                # loosest tier: a launch-compatible device tuned this GEMM.
+                # The adopted schedule must (a) lie inside this executor's
+                # own space (modulo split-k, which is derived per problem) —
+                # restricted ablation spaces must not adopt records their
+                # space excludes; (b) launch on the *local* device (a
+                # big-smem A100 tile may not); (c) carry split-k only when
+                # the local tune of this problem would enumerate that very
+                # factor — split_k_candidates gates on the local SM count,
+                # and adopting a factor the local space never saw could
+                # "beat" the local optimum, breaking cost accounting
+                foreign = self.cache.get_device_transfer(
+                    device_family, kind='matmul',
+                    validate=lambda s: (
+                        replace(s, split_k=1) in self._space_base
+                        and s.is_valid(self.device)
+                        and (s.split_k == 1
+                             or (self.try_split_k and batch == 1
+                                 and s.split_k in split_k_candidates(
+                                     m, n, k, self.device)))))
+            if foreign is not None:
+                result = self.tuner.retarget(m, n, k, foreign,
+                                             extra_read_bytes=extra_read,
+                                             extra_write_bytes=extra_write,
+                                             batch=batch)
+                # the size-family tier asserts "this family's candidates are
+                # compiled locally" — false after a one-kernel retarget, so
+                # the adopted record must not join it (later sizes re-adopt
+                # through the device tier at one compile + one measure each)
+                family = None
+            else:
+                result = self.tuner.tune(m, n, k, space=self.space,
+                                         try_split_k=self.try_split_k,
+                                         extra_read_bytes=extra_read,
+                                         extra_write_bytes=extra_write,
+                                         batch=batch, precompiled=precompiled)
             sched = result.best_schedule
             self.cache.put(signature, 'matmul', sched,
-                           namespace=self._namespace, family=family)
+                           namespace=self._namespace, family=family,
+                           device_family=device_family)
         stats = matmul_template.matmul_stats(
             m, n, k, sched, name=group.name, batch=batch,
             extra_read_bytes=extra_read, extra_write_bytes=extra_write)
@@ -358,7 +421,6 @@ class HidetExecutor:
         )
 
     def _adjust_fused_stats(self, stats: KernelStats, spec: GroupSpec) -> KernelStats:
-        from dataclasses import replace
         extra_read, extra_write = self._fusion_traffic(spec)
         if extra_read == 0 and extra_write == 0:
             return stats

@@ -3,10 +3,14 @@
 The layer the ROADMAP's "serve heavy traffic" north star needs above
 ``optimize()``: a cache-warmed :class:`ModelRegistry` that pre-compiles
 batch-size buckets per model, a :class:`DynamicBatcher` that coalesces a
-request stream into bucket dispatches, a discrete-event
-:class:`ServerSimulator` driven by ``gpusim`` modeled latencies, and a
-:class:`ServeStats` report layer (throughput, tail latency, occupancy,
-schedule-cache economics).
+request stream into bucket dispatches (with ``max_queue`` admission
+control), a discrete-event :class:`ServerSimulator` driven by ``gpusim``
+modeled latencies, a :class:`ServeStats` report layer (throughput, tail
+latency, occupancy, schedule-cache economics, rejections) — and, one level
+up, a :class:`Fleet` of replicas over heterogeneous devices with placement
+policies (:mod:`repro.serve.placement`), per-replica schedule caches,
+cross-device cache warming, and a :class:`FleetSimulator` (see
+``docs/serving.md`` for the full tutorial).
 
 Quickstart::
 
@@ -27,6 +31,10 @@ from .registry import ModelRegistry, RegisteredModel, bucket_ladder
 from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
                         BATCH_OVERHEAD_SECONDS)
 from .stats import ServeStats, compute_stats, format_serving_report
+from .placement import (PlacementPolicy, RoundRobinPlacement,
+                        LeastLoadedPlacement, ModelAffinePlacement)
+from .fleet import (Fleet, Replica, FleetSimulator, FleetResult,
+                    format_fleet_report)
 
 __all__ = [
     'Request', 'poisson_trace', 'bursty_trace', 'merge_traces',
@@ -35,4 +43,7 @@ __all__ = [
     'ServerSimulator', 'SimulationResult', 'CompletedRequest',
     'BATCH_OVERHEAD_SECONDS',
     'ServeStats', 'compute_stats', 'format_serving_report',
+    'PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
+    'ModelAffinePlacement',
+    'Fleet', 'Replica', 'FleetSimulator', 'FleetResult', 'format_fleet_report',
 ]

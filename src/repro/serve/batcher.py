@@ -32,28 +32,51 @@ def smallest_covering_bucket(size: int, buckets: Sequence[int]) -> int:
 class BatchingPolicy:
     """Dispatch knobs of the dynamic batcher.
 
-    ``max_batch=1`` with ``max_wait=0`` degenerates to no-batching serving
-    (the baseline the benchmark compares against).
+    ``max_batch`` is the most samples one dispatch may coalesce; ``max_wait``
+    is the longest a head-of-line request may queue, in **seconds**, before a
+    partial batch dispatches anyway.  ``max_batch=1`` with ``max_wait=0``
+    degenerates to no-batching serving (the baseline the benchmark compares
+    against).
+
+    ``max_queue`` is the admission-control bound: the most queued *samples*
+    one model's queue may hold.  An arrival that would push the queue past it
+    is **rejected** (fail fast with a load-shedding error) instead of joining
+    a backlog that can only grow once offered load exceeds capacity —
+    unbounded backlog converts every later request's latency into queueing
+    delay, which is exactly what the p99 of an overloaded run shows.
+    ``None`` (the default) keeps the historical accept-everything behavior.
     """
 
     max_batch: int = 8
     max_wait: float = 2e-3       # seconds a head-of-line request may queue
+    max_queue: Optional[int] = None   # queued-sample cap per model (admission)
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError('max_batch must be >= 1')
         if self.max_wait < 0:
             raise ValueError('max_wait must be non-negative')
+        if self.max_queue is not None and self.max_queue < self.max_batch:
+            raise ValueError(
+                f'max_queue={self.max_queue} must be at least max_batch='
+                f'{self.max_batch}, or a full batch could never accumulate')
 
 
 @dataclass
 class Batch:
-    """A coalesced dispatch: requests of one model bound for one bucket."""
+    """A coalesced dispatch: requests of one model bound for one bucket.
+
+    ``bucket`` is the compiled bucket capacity serving the batch;
+    ``dispatch_time`` is the simulated second the batch left the queue.
+    ``replica`` identifies the GPU that served it (always 0 under the
+    single-GPU :class:`~repro.serve.simulator.ServerSimulator`).
+    """
 
     model: str
     requests: list[Request]
     bucket: int                  # compiled bucket capacity serving the batch
     dispatch_time: float
+    replica: int = 0             # fleet replica that served the batch
 
     @property
     def size(self) -> int:
@@ -62,14 +85,25 @@ class Batch:
 
     @property
     def occupancy(self) -> float:
+        """Real samples over bucket capacity (the rest was padding)."""
         return self.size / self.bucket
 
 
 class DynamicBatcher:
     """Per-model FIFO queues + the dispatch-readiness rule.
 
+    Args:
+        policy: the dispatch knobs (see :class:`BatchingPolicy`).
+        buckets: model name -> compiled bucket ladder it may dispatch to;
+            the policy's ``max_batch`` must fit every model's largest
+            bucket.
+
     The simulator owns time; the batcher is a pure policy object — it never
-    looks at a wall clock, only at the ``now`` the caller passes in.
+    looks at a wall clock, only at the ``now`` (simulated seconds) the
+    caller passes in.  A queue is *ready* when it can fill ``max_batch``
+    samples or its head-of-line request has waited ``max_wait`` seconds;
+    :meth:`pop_ready` serves ready queues oldest-head-first (FIFO fairness
+    across co-hosted models).
     """
 
     def __init__(self, policy: BatchingPolicy, buckets: dict[str, Sequence[int]]):
@@ -93,15 +127,43 @@ class DynamicBatcher:
 
     # -- queueing ------------------------------------------------------------
 
-    def enqueue(self, request: Request) -> None:
+    def _validate(self, request: Request) -> None:
+        """Reject malformed input: unknown model, or a request that could
+        never dispatch.  Shared by :meth:`enqueue` and :meth:`offer`."""
         if request.model not in self._queues:
             raise KeyError(f'model {request.model!r} is not registered')
         if request.size > self.policy.max_batch:
             raise ValueError(
                 f'request {request.req_id} carries {request.size} samples, '
                 f'more than max_batch={self.policy.max_batch}')
+
+    def enqueue(self, request: Request) -> None:
+        """Queue ``request`` unconditionally (no admission check).
+
+        Raises ``KeyError`` for an unregistered model and ``ValueError`` for
+        a request larger than ``max_batch`` (it could never dispatch).  Use
+        :meth:`offer` when the policy's ``max_queue`` bound should apply.
+        """
+        self._validate(request)
         self._queues[request.model].append(request)
         self._queued_samples[request.model] += request.size
+
+    def offer(self, request: Request) -> bool:
+        """Admission-controlled enqueue: returns whether ``request`` got in.
+
+        With ``policy.max_queue`` set, an arrival that would push its model's
+        queued-sample count past the bound is rejected (returns ``False``,
+        the request is dropped); otherwise it is enqueued and ``True`` is
+        returned.  Validation errors (unknown model, oversized request)
+        always raise, regardless of queue depth — rejection is reserved for
+        overload, not malformed input.
+        """
+        self._validate(request)
+        cap = self.policy.max_queue
+        if cap is not None and self._queued_samples[request.model] + request.size > cap:
+            return False
+        self.enqueue(request)
+        return True
 
     def pending(self, model: Optional[str] = None) -> int:
         """Queued samples for one model (or all models)."""

@@ -1,0 +1,389 @@
+"""Multi-replica GPU fleet simulation with per-replica schedule caches.
+
+The layer above the single-GPU :class:`~repro.serve.simulator.ServerSimulator`
+that the ROADMAP's "millions of users" story needs: a :class:`Fleet` of
+:class:`Replica`\\ s — each a :class:`~repro.serve.registry.ModelRegistry`
+over its own :class:`~repro.gpusim.device.DeviceSpec` and its own
+:class:`~repro.runtime.cache.ScheduleCache` — plus a
+:class:`FleetSimulator` that routes a request trace across replicas through
+a :class:`~repro.serve.placement.PlacementPolicy` and runs every replica's
+dynamic batcher in one discrete-event loop.
+
+Two transfer mechanisms keep a growing fleet's tuning bill sublinear:
+
+* homogeneous replicas warm from a shared persisted cache (``warm_from``):
+  every schedule is an exact hit, zero tuning seconds;
+* heterogeneous replicas (an A100-class part joining an RTX3090 fleet, a
+  laptop-class edge node) use the **device-family transfer tier**: the
+  foreign record is validated against the local device and re-measured at
+  one compile + one measurement per GEMM family instead of a full tune
+  (:meth:`~repro.runtime.cache.ScheduleCache.get_device_transfer`).
+
+Time is entirely simulated; runs are deterministic and replayable.
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..gpusim.device import DeviceSpec
+from ..runtime.cache import ScheduleCache
+from .batcher import Batch, BatchingPolicy, DynamicBatcher
+from .placement import PlacementPolicy, RoundRobinPlacement
+from .registry import ModelRegistry, RegisteredModel
+from .simulator import BATCH_OVERHEAD_SECONDS, CompletedRequest
+from .stats import ServeStats, compute_stats, format_serving_report
+from .trace import Request
+
+__all__ = ['Fleet', 'Replica', 'FleetSimulator', 'FleetResult',
+           'format_fleet_report']
+
+GraphBuilder = Callable[[int], 'object']
+
+
+@dataclass
+class Replica:
+    """One simulated GPU: a model registry over one device, one cache."""
+
+    index: int
+    device: DeviceSpec
+    registry: ModelRegistry
+
+    @property
+    def label(self) -> str:
+        return f'r{self.index}:{self.device.name}'
+
+    @property
+    def compile_seconds(self) -> float:
+        """Simulated tuning seconds this replica paid to host its models."""
+        return self.registry.total_compile_seconds
+
+
+@dataclass
+class _ModelSpec:
+    name: str
+    builder: Optional[GraphBuilder]
+    max_batch: int
+    buckets: Optional[Sequence[int]]
+
+
+class Fleet:
+    """N replicas over (possibly heterogeneous) devices, placement-aware.
+
+    ``register()`` records model specs; :meth:`build` partitions them over
+    replicas via the placement policy's :meth:`~PlacementPolicy.partition`
+    and pre-compiles each model on its hosting replicas.  Build is lazy
+    (the simulator triggers it) so the policy sees the *complete* model set
+    when it partitions.
+
+    Args:
+        devices: one :class:`DeviceSpec` per replica, mixing parts freely.
+        placement: build-time hosting and serve-time routing policy
+            (default :class:`~repro.serve.placement.RoundRobinPlacement`).
+        warm_from: optional path to a persisted schedule-cache file every
+            replica warms from.  Exact records (same device) compile for
+            free; foreign-device records are used through the device-family
+            transfer tier when ``enable_device_transfer`` is on.  A missing,
+            corrupt, or version-mismatched file starts replicas cold — a bad
+            cache file must never keep a fleet from booting.
+        enable_transfer: cross-*size* schedule transfer inside each replica
+            (§4.3 input-size independence); on by default, like the registry.
+        enable_device_transfer: cross-*device* schedule transfer.  Defaults
+            to on exactly when ``warm_from`` is given (that is what foreign
+            records are for); pass an explicit bool to override.
+        max_cache_entries: optional per-replica schedule-cache LRU bound.
+    """
+
+    def __init__(self, devices: Sequence[DeviceSpec],
+                 placement: Optional[PlacementPolicy] = None,
+                 warm_from: Optional[str] = None,
+                 enable_transfer: bool = True,
+                 enable_device_transfer: Optional[bool] = None,
+                 max_cache_entries: Optional[int] = None):
+        if not devices:
+            raise ValueError('a fleet needs at least one replica device')
+        self.devices = tuple(devices)
+        self.placement = placement if placement is not None else RoundRobinPlacement()
+        self.warm_from = warm_from
+        self.enable_transfer = enable_transfer
+        self.enable_device_transfer = (warm_from is not None
+                                       if enable_device_transfer is None
+                                       else enable_device_transfer)
+        self.max_cache_entries = max_cache_entries
+        self._specs: dict[str, _ModelSpec] = {}
+        self.replicas: list[Replica] = []
+        #: model name -> replica indices hosting it (filled by build())
+        self.hosting: dict[str, tuple[int, ...]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, builder: Optional[GraphBuilder] = None,
+                 max_batch: int = 8,
+                 buckets: Optional[Sequence[int]] = None) -> None:
+        """Record a model spec for the next :meth:`build`.
+
+        Arguments mirror :meth:`ModelRegistry.register`; compilation is
+        deferred until the fleet builds so the placement policy can
+        partition the complete model set.
+        """
+        if self.replicas:
+            raise RuntimeError('fleet is already built; register models '
+                               'before the first simulation')
+        if name in self._specs:
+            raise ValueError(f'model {name!r} is already registered')
+        self._specs[name] = _ModelSpec(name=name, builder=builder,
+                                       max_batch=max_batch, buckets=buckets)
+
+    def build(self) -> 'Fleet':
+        """Partition models over replicas and pre-compile them (idempotent)."""
+        if self.replicas:
+            return self
+        if not self._specs:
+            raise ValueError('no models registered')
+        names = list(self._specs)
+        self.hosting = {
+            name: tuple(hosts) for name, hosts
+            in self.placement.partition(names, len(self.devices)).items()}
+        for name in names:
+            if not self.hosting.get(name):
+                raise ValueError(f'placement hosts model {name!r} nowhere')
+        for index, device in enumerate(self.devices):
+            cache = ScheduleCache(max_entries=self.max_cache_entries)
+            if self.warm_from is not None:
+                try:
+                    cache.warm(self.warm_from)
+                except (OSError, ValueError):
+                    pass                 # cold boot beats a crashed replica
+            registry = ModelRegistry(
+                device=device, cache=cache,
+                enable_transfer=self.enable_transfer,
+                enable_device_transfer=self.enable_device_transfer)
+            for name, spec in self._specs.items():
+                if index in self.hosting[name]:
+                    registry.register(name, builder=spec.builder,
+                                      max_batch=spec.max_batch,
+                                      buckets=spec.buckets)
+            self.replicas.append(Replica(index=index, device=device,
+                                         registry=registry))
+        return self
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.devices)
+
+    def hosts(self, model: str) -> tuple[int, ...]:
+        """Replica indices hosting ``model`` (build() must have run)."""
+        if model not in self.hosting:
+            raise KeyError(f'model {model!r} is not registered '
+                           f'(have {sorted(self.hosting)})')
+        return self.hosting[model]
+
+    @property
+    def models(self) -> dict[str, RegisteredModel]:
+        """Per-(model, replica) registered models — the fleet-wide compile
+        accounting view :func:`~repro.serve.stats.compute_stats` consumes."""
+        merged: dict[str, RegisteredModel] = {}
+        for replica in self.replicas:
+            for name, model in replica.registry.models.items():
+                merged[f'{name}@{replica.label}'] = model
+        return merged
+
+    @property
+    def total_compile_seconds(self) -> float:
+        """Fleet-wide cold-start tuning bill (sum over replicas)."""
+        return sum(r.compile_seconds for r in self.replicas)
+
+    def cache_stats(self) -> dict[str, dict]:
+        """Per-replica schedule-cache counters, keyed by replica label."""
+        return {r.label: r.registry.cache.stats for r in self.replicas}
+
+    def stats(self) -> dict:
+        """Hosting map plus per-replica registry stats (nested dict)."""
+        self.build()
+        return {
+            'hosting': {m: list(h) for m, h in sorted(self.hosting.items())},
+            'replicas': {r.label: r.registry.stats() for r in self.replicas},
+            'total_compile_seconds': self.total_compile_seconds,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished fleet run produced.
+
+    Mirrors :class:`~repro.serve.simulator.SimulationResult`, with
+    per-replica accounting: every completion and batch carries the replica
+    index it ran on, and ``busy_seconds`` is indexed by replica.
+    """
+
+    fleet: Fleet
+    completions: list[CompletedRequest]
+    batches: list[Batch]
+    policy: BatchingPolicy
+    busy_seconds: list[float] = field(default_factory=list)
+    rejected: list[Request] = field(default_factory=list)
+
+    def stats(self, cold_start_seconds: Optional[float] = None) -> ServeStats:
+        """Fleet-wide :class:`ServeStats` (latencies, cache economics,
+        rejections); pass ``cold_start_seconds`` to override the fleet's
+        compile bill (e.g. 0.0 for a fully warmed fleet)."""
+        return compute_stats(self.completions, self.batches,
+                             registry=self.fleet,
+                             cold_start_seconds=cold_start_seconds,
+                             rejected=self.rejected)
+
+    def per_replica(self) -> list[dict]:
+        """One summary dict per replica: requests, batches, occupancy,
+        busy seconds, and utilization over the run's span."""
+        if self.completions:
+            span = (max(c.completion for c in self.completions)
+                    - min(c.request.arrival for c in self.completions))
+        else:
+            span = 0.0
+        rows = []
+        for replica in self.fleet.replicas:
+            mine = [b for b in self.batches if b.replica == replica.index]
+            samples = sum(b.size for b in mine)
+            busy = self.busy_seconds[replica.index]
+            rows.append({
+                'replica': replica.label,
+                'requests': sum(len(b.requests) for b in mine),
+                'samples': samples,
+                'batches': len(mine),
+                'mean_occupancy': (sum(b.occupancy for b in mine) / len(mine)
+                                   if mine else 0.0),
+                'busy_seconds': busy,
+                'utilization': busy / span if span > 0 else 0.0,
+            })
+        return rows
+
+
+class FleetSimulator:
+    """Route a request trace across a fleet's replicas and batch per GPU.
+
+    One shared discrete-event loop drives every replica: arrivals are routed
+    by the fleet's placement policy (and admission-controlled against the
+    chosen replica's queue bound), each replica runs its own
+    :class:`DynamicBatcher`, and a replica dispatches whenever it is idle
+    and a batch is ready — the single-GPU simulator's three-event design,
+    with every event carrying its replica.
+
+    The simulator exposes the load view placement policies consume:
+    :meth:`queued_samples` and :meth:`backlog_seconds`.
+    """
+
+    def __init__(self, fleet: Fleet, policy: BatchingPolicy = BatchingPolicy(),
+                 batch_overhead: float = BATCH_OVERHEAD_SECONDS):
+        self.fleet = fleet
+        self.policy = policy
+        self.batch_overhead = batch_overhead
+        self._batchers: list[DynamicBatcher] = []
+        self._gpu_free_at: list[float] = []
+
+    # -- load view (consumed by placement policies) ----------------------------
+
+    def queued_samples(self, replica: int) -> int:
+        """Samples currently queued on ``replica`` (all its models)."""
+        return self._batchers[replica].pending()
+
+    def backlog_seconds(self, replica: int, now: float) -> float:
+        """Remaining busy seconds of ``replica``'s in-flight batch."""
+        return max(0.0, self._gpu_free_at[replica] - now)
+
+    # -- simulation ------------------------------------------------------------
+
+    def service_time(self, replica: int, model: str, bucket: int) -> float:
+        """Simulated seconds one dispatch holds ``replica``'s GPU."""
+        registry = self.fleet.replicas[replica].registry
+        return registry[model].latency(bucket) + self.batch_overhead
+
+    def run(self, trace: Sequence[Request]) -> FleetResult:
+        """Replay ``trace`` (any order; sorted internally) to completion."""
+        fleet = self.fleet.build()
+        fleet.placement.reset()
+        n = fleet.num_replicas
+        self._batchers = [
+            DynamicBatcher(self.policy, replica.registry.bucket_map())
+            for replica in fleet.replicas]
+        self._gpu_free_at = [0.0] * n
+        in_flight: list[Optional[Batch]] = [None] * n
+        armed_deadline: list[Optional[float]] = [None] * n
+        busy_seconds = [0.0] * n
+
+        events: list[tuple[float, int, str, int, Optional[Request]]] = []
+        seq = itertools.count()
+        for request in trace:
+            heapq.heappush(events,
+                           (request.arrival, next(seq), 'arrival', -1, request))
+
+        completions: list[CompletedRequest] = []
+        batches: list[Batch] = []
+        rejected: list[Request] = []
+
+        def dispatch(replica: int, now: float) -> None:
+            batcher = self._batchers[replica]
+            batch = batcher.pop_ready(now)
+            if batch is None:
+                # arm one timer per pending deadline (see ServerSimulator)
+                deadline = batcher.next_deadline()
+                if deadline is not None:
+                    when = max(deadline, now)
+                    armed = armed_deadline[replica]
+                    if armed is None or when < armed:
+                        heapq.heappush(events,
+                                       (when, next(seq), 'timer', replica, None))
+                        armed_deadline[replica] = when
+                return
+            batch.replica = replica
+            service = self.service_time(replica, batch.model, batch.bucket)
+            self._gpu_free_at[replica] = now + service
+            busy_seconds[replica] += service
+            in_flight[replica] = batch
+            batches.append(batch)
+            heapq.heappush(events, (self._gpu_free_at[replica], next(seq),
+                                    'gpu_free', replica, None))
+
+        while events:
+            now, _, kind, replica, payload = heapq.heappop(events)
+            if kind == 'arrival':
+                replica = fleet.placement.choose(
+                    payload, fleet.hosts(payload.model), self, now)
+                if not self._batchers[replica].offer(payload):
+                    rejected.append(payload)
+                    continue
+            elif kind == 'gpu_free':
+                batch = in_flight[replica]
+                in_flight[replica] = None
+                for request in batch.requests:
+                    completions.append(CompletedRequest(
+                        request=request,
+                        dispatch_time=batch.dispatch_time,
+                        completion=now,
+                        bucket=batch.bucket,
+                        replica=replica))
+            if armed_deadline[replica] is not None and now >= armed_deadline[replica]:
+                armed_deadline[replica] = None
+            if now >= self._gpu_free_at[replica] and in_flight[replica] is None:
+                dispatch(replica, now)
+
+        completions.sort(key=lambda c: (c.completion, c.request.req_id))
+        return FleetResult(fleet=fleet, completions=completions,
+                           batches=batches, policy=self.policy,
+                           busy_seconds=busy_seconds, rejected=rejected)
+
+
+def format_fleet_report(result: FleetResult, title: str = 'fleet run') -> str:
+    """Human-readable block: fleet-wide stats plus a per-replica table."""
+    stats = result.stats()
+    lines = [format_serving_report(stats, title), '  per replica:']
+    for row in result.per_replica():
+        lines.append(
+            f'    {row["replica"]:16s} {row["requests"]:6d} requests '
+            f'{row["batches"]:5d} batches  occupancy '
+            f'{row["mean_occupancy"] * 100:3.0f}%  utilization '
+            f'{row["utilization"] * 100:3.0f}%')
+    return '\n'.join(lines)

@@ -49,7 +49,12 @@ def bucket_ladder(max_batch: int) -> tuple[int, ...]:
 
 @dataclass
 class RegisteredModel:
-    """One registered model: its builder and the compiled bucket ladder."""
+    """One registered model: its builder and the compiled bucket ladder.
+
+    ``buckets`` maps batch-bucket size to the graph compiled at that size;
+    ``compile_seconds`` is the simulated tuning bill (seconds) the ladder
+    charged, zero for a fully warm registration.
+    """
 
     name: str
     builder: GraphBuilder
@@ -59,43 +64,76 @@ class RegisteredModel:
 
     @property
     def bucket_sizes(self) -> tuple[int, ...]:
+        """Compiled bucket capacities, ascending."""
         return tuple(sorted(self.buckets))
 
     @property
     def max_batch(self) -> int:
+        """Largest compiled bucket (the most samples one dispatch can take)."""
         return self.bucket_sizes[-1]
 
     def bucket_for(self, size: int) -> int:
-        """Smallest compiled bucket covering ``size`` samples."""
+        """Smallest compiled bucket covering ``size`` samples (raises
+        ``ValueError`` when none does)."""
         return smallest_covering_bucket(size, self.bucket_sizes)
 
     def latency(self, bucket: int) -> float:
-        """Modeled serve-time seconds of one dispatch to ``bucket``."""
+        """Modeled serve-time **seconds** of one dispatch to ``bucket``
+        (all of its kernels' gpusim latencies plus dispatch overheads)."""
         return self.buckets[bucket].latency
 
     def cache_traffic(self) -> dict[str, int]:
-        """Schedule-cache traffic summed over the ladder's compiles."""
+        """Schedule-cache traffic summed over the ladder's compiles.
+
+        Returns a dict with ``hits`` (exact records reused, zero tuning
+        time), ``misses`` (lookups that paid for tuning or a transfer
+        validation), ``transfer_hits`` (misses served by the cross-size
+        family tier: re-measurement only), and ``device_transfer_hits``
+        (misses served by adopting a foreign device's schedule).
+        """
         reports = [c.compile_report for c in self.buckets.values()]
         return {'hits': sum(r.cache_hits for r in reports),
                 'misses': sum(r.cache_misses for r in reports),
-                'transfer_hits': sum(r.transfer_hits for r in reports)}
+                'transfer_hits': sum(r.transfer_hits for r in reports),
+                'device_transfer_hits': sum(r.device_transfer_hits
+                                            for r in reports)}
 
 
 class ModelRegistry:
     """Register named models, pre-compile their batch buckets, stay warm.
 
-    ``cache_path`` names a persisted schedule-cache file: it is warmed from
-    disk at construction (if present) and re-saved (merge-on-save) after
-    every registration, so registries taking turns with the file converge
-    to one tuned cache (simultaneous saves would need file locking, which
-    the JSON store does not do).
+    Args:
+        device: the simulated GPU all of this registry's models compile for.
+        cache: an explicit :class:`ScheduleCache` to share (e.g. across
+            fleet replicas, or one pre-warmed from a foreign device);
+            mutually exclusive with ``max_cache_entries``.
+        cache_path: a persisted schedule-cache file: warmed from disk at
+            construction (if present) and re-saved (merge-on-save) after
+            every registration, so registries taking turns with the file
+            converge to one tuned cache (simultaneous saves would need file
+            locking, which the JSON store does not do).  A corrupt or
+            version-mismatched file starts the registry cold instead of
+            blocking boot.
+        max_cache_entries: optional LRU bound on the registry-owned cache.
+        enable_transfer: cross-*size* schedule transfer (§4.3) — later
+            buckets of a ladder re-tune by measurement only; on by default.
+        enable_device_transfer: cross-*device* schedule transfer — adopt a
+            launch-compatible foreign record after validating it against
+            ``device`` and re-measuring locally; off by default, enabled by
+            fleets warming replicas from a foreign cache.
+
+    All times the registry reports (``compile_seconds``,
+    ``total_compile_seconds``) are simulated tuning **seconds** from the
+    shared :class:`SimulatedClock`; model latencies are modeled serve-time
+    **seconds** per dispatch.
     """
 
     def __init__(self, device: DeviceSpec = RTX3090,
                  cache: Optional[ScheduleCache] = None,
                  cache_path: Optional[str] = None,
                  max_cache_entries: Optional[int] = None,
-                 enable_transfer: bool = True):
+                 enable_transfer: bool = True,
+                 enable_device_transfer: bool = False):
         self.device = device
         if cache is not None and max_cache_entries is not None:
             raise ValueError('pass either an explicit cache or '
@@ -113,9 +151,10 @@ class ModelRegistry:
                 # cache file must never keep a fleet node from booting
                 pass
         self.clock = SimulatedClock()
-        self.executor = HidetExecutor(device, clock=self.clock,
-                                      cache=self.cache,
-                                      enable_transfer=enable_transfer)
+        self.executor = HidetExecutor(
+            device, clock=self.clock, cache=self.cache,
+            enable_transfer=enable_transfer,
+            enable_device_transfer=enable_device_transfer)
         self.models: dict[str, RegisteredModel] = {}
 
     # -- registration ----------------------------------------------------------

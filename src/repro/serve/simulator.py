@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from .batcher import Batch, BatchingPolicy, DynamicBatcher
@@ -39,36 +39,59 @@ BATCH_OVERHEAD_SECONDS = 20e-6
 
 @dataclass(frozen=True)
 class CompletedRequest:
-    """One request's lifecycle: arrival -> batch dispatch -> completion."""
+    """One request's lifecycle: arrival -> batch dispatch -> completion.
+
+    All times are simulated **seconds** since trace start; ``bucket`` is the
+    compiled batch bucket that served the request and ``replica`` the fleet
+    replica it ran on (0 under the single-GPU simulator).
+    """
 
     request: Request
     dispatch_time: float
     completion: float
     bucket: int
+    replica: int = 0
 
     @property
     def latency(self) -> float:
+        """End-to-end seconds: arrival to completion (queueing + service)."""
         return self.completion - self.request.arrival
 
     @property
     def queueing_delay(self) -> float:
+        """Seconds spent queued before the serving batch dispatched."""
         return self.dispatch_time - self.request.arrival
 
 
 @dataclass
 class SimulationResult:
-    """Everything a finished run produced."""
+    """Everything a finished run produced.
+
+    ``completions`` hold every admitted request's lifecycle record;
+    ``rejected`` the requests admission control turned away at arrival
+    (empty unless the policy sets ``max_queue``); ``batches`` the dispatched
+    coalesced batches in dispatch order.
+    """
 
     completions: list[CompletedRequest]
     batches: list[Batch]
     policy: BatchingPolicy
     #: simulated seconds the GPU spent serving batches
     busy_seconds: float = 0.0
+    #: arrivals turned away by admission control (policy.max_queue)
+    rejected: list[Request] = field(default_factory=list)
 
     def stats(self, registry: Optional[ModelRegistry] = None,
               cold_start_seconds: Optional[float] = None) -> ServeStats:
+        """Fold the run into a :class:`~repro.serve.stats.ServeStats`.
+
+        ``registry`` contributes compile-side accounting (cache traffic and
+        the cold-start tuning bill); ``cold_start_seconds`` overrides the
+        latter (e.g. zero for a registry warmed from a persisted cache).
+        """
         return compute_stats(self.completions, self.batches, registry=registry,
-                             cold_start_seconds=cold_start_seconds)
+                             cold_start_seconds=cold_start_seconds,
+                             rejected=self.rejected)
 
     @property
     def gpu_utilization(self) -> float:
@@ -81,7 +104,21 @@ class SimulationResult:
 
 
 class ServerSimulator:
-    """Replay request traces against a registry with dynamic batching."""
+    """Replay request traces against a registry with dynamic batching.
+
+    Args:
+        registry: the compiled models to serve; every trace request's model
+            must be registered and its coalesced batch must fit a compiled
+            bucket.
+        policy: the batcher's dispatch knobs (``max_batch`` samples,
+            ``max_wait`` seconds, optional ``max_queue`` admission bound).
+        batch_overhead: host-side seconds charged per dispatched batch
+            (queue pop, gather/scatter for padding), on top of the bucket's
+            modeled GPU latency.
+
+    ``run`` is deterministic: the same trace produces the same completions,
+    batch for batch.  The simulator holds no mutable state between runs.
+    """
 
     def __init__(self, registry: ModelRegistry,
                  policy: BatchingPolicy = BatchingPolicy(),
@@ -91,11 +128,17 @@ class ServerSimulator:
         self.batch_overhead = batch_overhead
 
     def service_time(self, model: str, bucket: int) -> float:
-        """Simulated seconds one dispatch to ``bucket`` holds the GPU."""
+        """Simulated seconds one dispatch to ``bucket`` holds the GPU
+        (the bucket's modeled kernel latency plus ``batch_overhead``)."""
         return self.registry[model].latency(bucket) + self.batch_overhead
 
     def run(self, trace: Sequence[Request]) -> SimulationResult:
-        """Replay ``trace`` (any order; sorted internally) to completion."""
+        """Replay ``trace`` (any order; sorted internally) to completion.
+
+        Returns a :class:`SimulationResult` whose ``completions`` cover
+        every admitted request; with ``policy.max_queue`` set, turned-away
+        arrivals land in ``result.rejected`` instead of completing.
+        """
         batcher = DynamicBatcher(self.policy, self.registry.bucket_map())
         events: list[tuple[float, int, str, Optional[Request]]] = []
         seq = itertools.count()
@@ -104,6 +147,7 @@ class ServerSimulator:
 
         completions: list[CompletedRequest] = []
         batches: list[Batch] = []
+        rejected: list[Request] = []
         busy_seconds = 0.0
         gpu_free_at = 0.0            # GPU is idle iff now >= gpu_free_at
         in_flight: Optional[Batch] = None
@@ -136,7 +180,8 @@ class ServerSimulator:
             if armed_deadline is not None and now >= armed_deadline:
                 armed_deadline = None        # the armed timer is due/spent
             if kind == 'arrival':
-                batcher.enqueue(payload)
+                if not batcher.offer(payload):
+                    rejected.append(payload)
             elif kind == 'gpu_free':
                 batch = in_flight
                 in_flight = None
@@ -153,4 +198,5 @@ class ServerSimulator:
 
         completions.sort(key=lambda c: (c.completion, c.request.req_id))
         return SimulationResult(completions=completions, batches=batches,
-                                policy=self.policy, busy_seconds=busy_seconds)
+                                policy=self.policy, busy_seconds=busy_seconds,
+                                rejected=rejected)

@@ -18,7 +18,15 @@ __all__ = ['ServeStats', 'compute_stats', 'format_serving_report']
 
 @dataclass
 class ServeStats:
-    """Aggregate metrics of one simulated serving run."""
+    """Aggregate metrics of one simulated serving run.
+
+    Latency fields are in **milliseconds**; ``duration``,
+    ``cold_start_seconds``, and the amortized figures are in **seconds**
+    (simulated time throughout — the simulator never reads a wall clock).
+    ``num_requests`` counts *completed* requests only; with admission
+    control, rejected arrivals appear in ``num_rejected`` and the offered
+    load is their sum (:attr:`offered_requests`).
+    """
 
     num_requests: int
     num_samples: int
@@ -38,36 +46,57 @@ class ServeStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_transfer_hits: int = 0
+    #: misses served by adopting a foreign device's schedule (fleet tier)
+    cache_device_transfer_hits: int = 0
     #: one-off simulated tuning seconds paid before the first request
     cold_start_seconds: float = 0.0
+    #: arrivals turned away by admission control (policy.max_queue)
+    num_rejected: int = 0
+
+    @property
+    def offered_requests(self) -> int:
+        """Total arrivals: completed plus rejected."""
+        return self.num_requests + self.num_rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered requests turned away by admission control."""
+        if self.offered_requests == 0:
+            return 0.0
+        return self.num_rejected / self.offered_requests
 
     @property
     def cache_hit_rate(self) -> float:
         """Lookups served from the cache (exact or transfer) over all lookups.
 
         Every lookup first counts an exact hit or miss; a transfer-served
-        lookup is one of the *misses* that then found a family record, so
-        the denominator is ``hits + misses`` and transfer hits move their
-        miss into the numerator rather than adding a third lookup.
+        lookup (size-family or device-family) is one of the *misses* that
+        then found a transferable record, so the denominator is
+        ``hits + misses`` and transfer hits move their miss into the
+        numerator rather than adding a third lookup.
         """
         total = self.cache_hits + self.cache_misses
         if total == 0:
             return 0.0
-        return (self.cache_hits + self.cache_transfer_hits) / total
+        return (self.cache_hits + self.cache_transfer_hits
+                + self.cache_device_transfer_hits) / total
 
     @property
     def cold_start_amortized_seconds(self) -> float:
-        """Compile-time tuning bill spread over the requests served."""
+        """Compile-time tuning bill (seconds) spread over completed requests."""
         return self.cold_start_seconds / max(1, self.num_requests)
 
 
 def compute_stats(completions, batches, registry=None,
-                  cold_start_seconds: Optional[float] = None) -> ServeStats:
+                  cold_start_seconds: Optional[float] = None,
+                  rejected=()) -> ServeStats:
     """Fold completion records and dispatches into a :class:`ServeStats`.
 
     ``completions`` are the simulator's per-request records (``request``,
-    ``completion`` fields); ``batches`` the dispatched :class:`Batch`\\ es.
-    ``registry`` contributes the compile-side accounting; pass
+    ``completion`` fields); ``batches`` the dispatched :class:`Batch`\\ es;
+    ``rejected`` the requests admission control turned away.  ``registry``
+    contributes the compile-side accounting (or, for a fleet, any object
+    with a ``models`` mapping and ``total_compile_seconds``); pass
     ``cold_start_seconds`` to override (e.g. when the registry was warmed
     from disk and charged nothing).
     """
@@ -84,7 +113,7 @@ def compute_stats(completions, batches, registry=None,
     for batch in batches:
         histogram[batch.bucket] = histogram.get(batch.bucket, 0) + 1
 
-    hits = misses = transfers = 0
+    hits = misses = transfers = device_transfers = 0
     cold = 0.0
     if registry is not None:
         for model in registry.models.values():
@@ -92,6 +121,7 @@ def compute_stats(completions, batches, registry=None,
             hits += traffic['hits']
             misses += traffic['misses']
             transfers += traffic['transfer_hits']
+            device_transfers += traffic.get('device_transfer_hits', 0)
         cold = registry.total_compile_seconds
     if cold_start_seconds is not None:
         cold = cold_start_seconds
@@ -115,17 +145,26 @@ def compute_stats(completions, batches, registry=None,
         cache_hits=hits,
         cache_misses=misses,
         cache_transfer_hits=transfers,
+        cache_device_transfer_hits=device_transfers,
         cold_start_seconds=cold,
+        num_rejected=len(rejected),
     )
 
 
 def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
     """Human-readable block of one run's serving metrics."""
     buckets = ', '.join(f'{b}x{n}' for b, n in stats.bucket_histogram.items())
+    admitted = (f', {stats.num_rejected} rejected '
+                f'({stats.rejection_rate * 100:.1f}% of offered)'
+                if stats.num_rejected else '')
+    transfers = f'{stats.cache_transfer_hits} transfer hits'
+    if stats.cache_device_transfer_hits:
+        transfers += (f', {stats.cache_device_transfer_hits} '
+                      f'device-transfer hits')
     lines = [
         f'{title}:',
         f'  requests {stats.num_requests} ({stats.num_samples} samples) in '
-        f'{stats.duration * 1e3:.1f} ms simulated',
+        f'{stats.duration * 1e3:.1f} ms simulated{admitted}',
         f'  throughput {stats.throughput_rps:10.1f} req/s '
         f'({stats.throughput_sps:.1f} samples/s)',
         f'  latency ms p50 {stats.latency_p50_ms:8.3f}  '
@@ -134,7 +173,7 @@ def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
         f'  batches {stats.num_batches} (mean size {stats.mean_batch_size:.2f}, '
         f'occupancy {stats.mean_occupancy * 100:.0f}%)  dispatched: {buckets}',
         f'  schedule cache: {stats.cache_hits} hits, '
-        f'{stats.cache_transfer_hits} transfer hits, {stats.cache_misses} '
+        f'{transfers}, {stats.cache_misses} '
         f'misses (hit rate {stats.cache_hit_rate * 100:.0f}%)',
         f'  cold start: {stats.cold_start_seconds:.1f} tuning seconds, '
         f'amortized {stats.cold_start_amortized_seconds:.2f} s/request over '

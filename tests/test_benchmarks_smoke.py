@@ -51,3 +51,17 @@ def test_bench_serving_smoke_cli_budget():
     elapsed = time.monotonic() - start
     assert 'throughput' in text
     assert elapsed < 10.0, f'bench_serving --smoke took {elapsed:.1f}s'
+
+
+def test_bench_serving_fleet_smoke_budget():
+    """The --smoke --fleet acceptance: the reduced fleet experiments
+    (placement comparison, cross-device warm-up, SLO sizing) must pass
+    their claims and finish in <10s."""
+    module = importlib.import_module('bench_serving')
+    start = time.monotonic()
+    text = module.fleet_smoke()
+    elapsed = time.monotonic() - start
+    for token in ('Placement comparison', 'Cross-device warm-up',
+                  'Fleet sizing', 'MEETS SLO'):
+        assert token in text
+    assert elapsed < 10.0, f'bench_serving --smoke --fleet took {elapsed:.1f}s'

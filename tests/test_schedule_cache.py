@@ -74,7 +74,8 @@ class TestScheduleCacheCore:
         # a reduce lookup must not be served a matmul schedule
         assert cache.get('sig', kind='reduce') is None
         assert cache.stats == {'entries': 1, 'hits': 1, 'misses': 2,
-                               'transfer_hits': 0, 'evictions': 0}
+                               'transfer_hits': 0, 'device_transfer_hits': 0,
+                               'evictions': 0}
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
 
