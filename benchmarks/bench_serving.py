@@ -1,15 +1,19 @@
 """Serving benchmark: co-hosted ResNet-50 + Bert under dynamic batching.
 
 Produces the serving report (throughput, p50/p95/p99, occupancy, cache hit
-rate, warm-start accounting), a QPS -> p99 curve over a shared registry, and
-— with ``--fleet`` — the multi-replica story: model-affine vs round-robin
-placement, a heterogeneous replica warming from a foreign-device cache, and
-an SLO-driven fleet-sizing sweep.
+rate, warm-start accounting), a QPS -> p99 curve over a shared registry,
+with ``--fleet`` the multi-replica story (model-affine vs round-robin
+placement, a heterogeneous replica warming from a foreign-device cache, an
+SLO-driven fleet-sizing sweep), and with ``--lifecycle`` the fleet-shape
+story: diurnal autoscaling beating static sizing on replica-seconds at the
+same p99 SLO, and warm (cache-transfer) scale-up beating cold scale-up on
+tuning-seconds-to-SLO.
 
-Also runnable as a script: ``python bench_serving.py [--smoke] [--fleet]`` —
-``--smoke`` replays a reduced trace over scaled-down model shapes, and
-``--smoke --fleet`` runs the reduced fleet experiments; each path finishes
-in well under ten seconds.
+Also runnable as a script:
+``python bench_serving.py [--smoke] [--fleet] [--lifecycle]`` — ``--smoke``
+replays a reduced trace over scaled-down model shapes, and combines with
+either fleet flag to run the reduced experiments; each path finishes in
+well under ten seconds.
 """
 import argparse
 
@@ -19,6 +23,8 @@ from repro.experiments.serving import (format_qps_sweep, format_serving,
 from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing,
                                      format_placement, run_device_transfer,
                                      run_fleet_sizing, run_placement_comparison)
+from repro.experiments.lifecycle import (format_autoscaling, format_scaleup,
+                                         run_autoscaling, run_scaleup_warmup)
 
 
 def _check(report):
@@ -108,6 +114,55 @@ def bench_serving_fleet(benchmark):
     write_result('serving_fleet', text)
 
 
+def _check_lifecycle(autoscale, scaleup):
+    # the acceptance claims of the fleet lifecycle subsystem
+    assert autoscale.static is not None, (
+        'the static sizing walk must find an SLO-meeting fleet')
+    assert autoscale.autoscaled.latency_p99_ms <= autoscale.slo_p99_ms, (
+        f'the autoscaled fleet must hold the p99 SLO, got '
+        f'{autoscale.autoscaled.latency_p99_ms:.3f} ms')
+    assert (autoscale.autoscaled.rejection_rate
+            <= autoscale.max_rejection_rate)
+    assert autoscale.autoscaled.num_lost_to_failure == 0    # scaling loses nothing
+    assert (autoscale.autoscaled.replica_seconds
+            < autoscale.static.replica_seconds), (
+        'autoscaling must cost fewer replica-seconds than the static optimum')
+    assert autoscale.autoscaled.scale_up_tuning_seconds == 0.0, (
+        'same-device joins warm from the shared cache for free')
+    assert autoscale.num_joins > 0 and autoscale.num_retires > 0
+    assert scaleup.device_transfer_hits > 0
+    assert (2 * scaleup.warm_join_tuning_seconds
+            < scaleup.cold_join_tuning_seconds), (
+        'warm scale-up must beat cold scale-up on tuning-seconds-to-SLO')
+    assert scaleup.warm_post_p99_ms <= scaleup.slo_p99_ms
+    assert scaleup.cold_post_p99_ms <= scaleup.slo_p99_ms
+
+
+def _run_lifecycle(smoke: bool) -> str:
+    """Both lifecycle experiments at one scale, checked and formatted."""
+    if smoke:
+        autoscale = run_autoscaling(slo_p99_ms=1.5, smoke=True)
+        scaleup = run_scaleup_warmup(slo_p99_ms=2.0, smoke=True)
+    else:
+        # full-mode SLOs sit between the n-1 and n replica p99 plateaus of
+        # the ResNet-50 + Bert pair, so the static walk lands on a real
+        # crest size (3 replicas) rather than the first config tried
+        autoscale = run_autoscaling(slo_p99_ms=30.0, buckets=(1, 2, 4, 8),
+                                    offered_peak_factor=0.7)
+        scaleup = run_scaleup_warmup(slo_p99_ms=60.0, buckets=(1, 2, 4, 8),
+                                     overload_factor=1.1)
+    _check_lifecycle(autoscale, scaleup)
+    return '\n\n'.join([format_autoscaling(autoscale),
+                        format_scaleup(scaleup)])
+
+
+def bench_serving_lifecycle(benchmark):
+    """Lifecycle acceptance: diurnal autoscaling, warm vs cold scale-up."""
+    text = benchmark.pedantic(lambda: _run_lifecycle(smoke=False),
+                              rounds=1, iterations=1)
+    write_result('serving_lifecycle', text)
+
+
 def smoke() -> str:
     """Reduced serving run (scaled-down models, 200-request trace)."""
     report = run_serving(num_requests=200, buckets=(1, 4), smoke=True)
@@ -120,20 +175,35 @@ def fleet_smoke() -> str:
     return _run_fleet(smoke=True)
 
 
+def lifecycle_smoke() -> str:
+    """Reduced lifecycle experiments (tiny transformer pair, <10s)."""
+    return _run_lifecycle(smoke=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--smoke', action='store_true',
                         help='reduced traces over scaled-down models (<10s)')
     parser.add_argument('--fleet', action='store_true',
                         help='run the multi-replica fleet experiments')
+    parser.add_argument('--lifecycle', action='store_true',
+                        help='run the autoscaling / failure lifecycle '
+                             'experiments')
     args = parser.parse_args(argv)
-    if args.fleet:
-        text = _run_fleet(smoke=args.smoke)
-        if args.smoke:
-            print(text)
-        else:
-            write_result('serving_fleet', text)
-            print(text)
+    if args.fleet or args.lifecycle:
+        # the two experiment families compose: --fleet --lifecycle runs both
+        sections = []
+        if args.fleet:
+            text = _run_fleet(smoke=args.smoke)
+            if not args.smoke:
+                write_result('serving_fleet', text)
+            sections.append(text)
+        if args.lifecycle:
+            text = _run_lifecycle(smoke=args.smoke)
+            if not args.smoke:
+                write_result('serving_lifecycle', text)
+            sections.append(text)
+        print('\n\n'.join(sections))
     elif args.smoke:
         print(smoke())
     else:

@@ -529,13 +529,23 @@ class ScheduleCache:
         return sum(1 for sig in file_entries
                    if sig in self._entries and sig not in pre_existing)
 
-    def warm(self, path: str) -> int:
+    def warm(self, path: str, missing_ok: bool = False) -> int:
         """Merge a saved cache file into this cache; returns entries added.
 
         The warming API of the serving registry: point it at a persisted
         cache and every previously tuned bucket compiles with zero simulated
         tuning seconds.
+
+        Safe against concurrent savers: :meth:`save` publishes through an
+        atomic rename, so a reader always sees either the previous complete
+        file or the new complete file, never a torn write — which is what
+        lets a replica joining a live fleet warm from the shared cache file
+        while other replicas keep saving to it.  With ``missing_ok`` the
+        not-yet-created file (a fleet scaling up before its first save)
+        reads as an empty cache instead of raising ``FileNotFoundError``.
         """
+        if missing_ok and not os.path.exists(path):
+            return 0
         with open(path, 'r', encoding='utf-8') as f:
             return self.merge_json(json.load(f))
 

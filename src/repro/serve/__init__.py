@@ -10,7 +10,12 @@ latency, occupancy, schedule-cache economics, rejections) — and, one level
 up, a :class:`Fleet` of replicas over heterogeneous devices with placement
 policies (:mod:`repro.serve.placement`), per-replica schedule caches,
 cross-device cache warming, and a :class:`FleetSimulator` (see
-``docs/serving.md`` for the full tutorial).
+``docs/serving.md`` for the full tutorial).  The fleet changes shape
+mid-trace through :mod:`repro.serve.lifecycle`: an :class:`Autoscaler`
+(queue-depth / p99-target / scheduled-diurnal policies) joins and drains
+replicas while a trace runs, and a :class:`FailureInjector` kills them —
+with re-homing, requeue/loss accounting, and a replica-seconds bill (see
+``docs/fleet.md``).
 
 Quickstart::
 
@@ -24,7 +29,8 @@ Quickstart::
                                    models=['resnet50'], seed=0))
     print(format_serving_report(result.stats(registry)))
 """
-from .trace import Request, poisson_trace, bursty_trace, merge_traces
+from .trace import (Request, poisson_trace, bursty_trace, diurnal_trace,
+                    merge_traces)
 from .batcher import (Batch, BatchingPolicy, DynamicBatcher,
                       smallest_covering_bucket)
 from .registry import ModelRegistry, RegisteredModel, bucket_ladder
@@ -33,11 +39,16 @@ from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
 from .stats import ServeStats, compute_stats, format_serving_report
 from .placement import (PlacementPolicy, RoundRobinPlacement,
                         LeastLoadedPlacement, ModelAffinePlacement)
+from .lifecycle import (LifecycleEvent, AutoscalePolicy, QueueDepthPolicy,
+                        P99TargetPolicy, ScheduledDiurnalPolicy,
+                        AutoscalerConfig, Autoscaler, FailureEvent,
+                        FailureInjector)
 from .fleet import (Fleet, Replica, FleetSimulator, FleetResult,
                     format_fleet_report)
 
 __all__ = [
-    'Request', 'poisson_trace', 'bursty_trace', 'merge_traces',
+    'Request', 'poisson_trace', 'bursty_trace', 'diurnal_trace',
+    'merge_traces',
     'Batch', 'BatchingPolicy', 'DynamicBatcher', 'smallest_covering_bucket',
     'ModelRegistry', 'RegisteredModel', 'bucket_ladder',
     'ServerSimulator', 'SimulationResult', 'CompletedRequest',
@@ -46,4 +57,7 @@ __all__ = [
     'PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
     'ModelAffinePlacement',
     'Fleet', 'Replica', 'FleetSimulator', 'FleetResult', 'format_fleet_report',
+    'LifecycleEvent', 'AutoscalePolicy', 'QueueDepthPolicy', 'P99TargetPolicy',
+    'ScheduledDiurnalPolicy', 'AutoscalerConfig', 'Autoscaler',
+    'FailureEvent', 'FailureInjector',
 ]

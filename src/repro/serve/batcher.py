@@ -171,6 +171,46 @@ class DynamicBatcher:
             return self._queued_samples[model]
         return sum(self._queued_samples.values())
 
+    def drain(self) -> list[Request]:
+        """Empty every queue, returning the drained requests.
+
+        Requests come back ordered by arrival (the order they would have
+        dispatched in) so a fleet that loses this batcher's replica can
+        re-admit them elsewhere deterministically.  Queue counters reset;
+        the batcher stays usable (e.g. for a revived replica).
+        """
+        drained = [r for q in self._queues.values() for r in q]
+        drained.sort(key=lambda r: (r.arrival, r.req_id))
+        for name in self._queues:
+            self._queues[name].clear()
+            self._queued_samples[name] = 0
+        return drained
+
+    def add_model(self, name: str, ladder: Sequence[int]) -> None:
+        """Start batching for a model registered after construction.
+
+        The fleet's re-homing path compiles a model onto a surviving replica
+        mid-run; the replica's live batcher then needs a queue and bucket
+        ladder for it.  Validates ``ladder`` exactly as the constructor
+        does; idempotent for an already-known model with the same ladder.
+        """
+        ladder = tuple(sorted(ladder))
+        if name in self.buckets:
+            if self.buckets[name] != ladder:
+                raise ValueError(
+                    f'model {name!r} is already batched with ladder '
+                    f'{self.buckets[name]}, not {ladder}')
+            return
+        if not ladder:
+            raise ValueError(f'model {name!r} has no compiled buckets')
+        if self.policy.max_batch > ladder[-1]:
+            raise ValueError(
+                f'policy max_batch={self.policy.max_batch} exceeds the largest '
+                f'compiled bucket ({ladder[-1]}) of model {name!r}')
+        self.buckets[name] = ladder
+        self._queues[name] = deque()
+        self._queued_samples[name] = 0
+
     # -- dispatch decision -----------------------------------------------------
 
     def _eligible(self, model: str, now: float) -> bool:

@@ -21,6 +21,19 @@ Policies are deterministic: any internal state (round-robin cursors) is
 reset by :meth:`PlacementPolicy.reset`, which the fleet simulator calls at
 the start of every run, so replaying a trace reproduces the identical
 placement decisions.
+
+Lifecycle (PR 4): the fleet's replica set can change *mid-run* — the
+autoscaler joins and retires replicas, the failure injector kills them.
+Policies see this through the ``hosts`` argument of :meth:`choose`, which
+always holds the model's currently *serving* hosts (dead and draining
+replicas are filtered out by the fleet), so round-robin and least-loaded
+re-snapshot their routing set on every call.  When a model's serving host
+set drains to nothing, the fleet asks :meth:`PlacementPolicy.rehome` where
+to re-compile it — model-affine answers with its precomputed *failover
+home group* (the cyclically next group), keeping the affinity story intact
+across failures.  Scale-up is a policy decision too: a joining replica
+hosts whatever :meth:`PlacementPolicy.models_for_join` returns (everything
+by default; only the thinnest model under model-affine).
 """
 from __future__ import annotations
 
@@ -50,14 +63,77 @@ class PlacementPolicy:
 
     def partition(self, model_names: Sequence[str],
                   num_replicas: int) -> dict[str, tuple[int, ...]]:
-        """Build-time hosting map: model name -> replica indices hosting it."""
+        """Build-time hosting map: model name -> replica indices hosting it.
+
+        Args:
+            model_names: every registered model, in registration order.
+            num_replicas: the fleet's initial replica count; valid indices
+                are ``0 .. num_replicas - 1``.
+
+        Returns a mapping that covers every name in ``model_names`` with a
+        non-empty tuple of valid indices (the fleet validates both).  The
+        default hosts every model on every replica.
+        """
         everywhere = tuple(range(num_replicas))
         return {name: everywhere for name in model_names}
 
     def choose(self, request: Request, hosts: Sequence[int], fleet,
                now: float) -> int:
-        """Pick the replica (from ``hosts``) that serves ``request``."""
+        """Pick the replica that serves ``request``.
+
+        Args:
+            request: the arriving (or re-admitted) request.
+            hosts: the model's currently *serving* host replica indices,
+                ascending, never empty.  Under lifecycle churn this set
+                shrinks and grows between calls; policies must not cache it.
+            fleet: the load view (``queued_samples(replica)`` samples,
+                ``backlog_seconds(replica, now)`` simulated seconds) — the
+                only simulator state a policy may read.
+            now: current simulated time in **seconds** since trace start.
+
+        Must return a member of ``hosts`` and be deterministic given the
+        call history since the last :meth:`reset`.
+        """
         raise NotImplementedError
+
+    def rehome(self, model: str, serving: Sequence[int],
+               hosting: Sequence[int]) -> int:
+        """Pick the replica that re-hosts ``model`` after its hosts died.
+
+        Called by the fleet simulator when every replica hosting ``model``
+        is dead or draining and a request for it needs a live home: the
+        chosen replica compiles the model mid-run (cheap when warm from the
+        shared cache) and starts serving it.
+
+        Args:
+            model: the orphaned model's name.
+            serving: replica indices currently able to take work, ascending,
+                never empty (with no live replica at all, the fleet counts
+                the work as lost instead of calling this).
+            hosting: the (dead) indices that hosted ``model`` so far.
+
+        The default picks the lowest serving index not already in
+        ``hosting``, falling back to the lowest serving index — subclasses
+        refine it (model-affine answers with its failover home group).
+        """
+        fresh = [r for r in serving if r not in hosting]
+        return min(fresh) if fresh else min(serving)
+
+    def models_for_join(self, model_names: Sequence[str], replica: int,
+                        active_host_counts: Mapping[str, int]) -> list[str]:
+        """Which models a replica joining mid-run should host.
+
+        Called by :meth:`Fleet.add_replica` for autoscaler scale-ups (an
+        explicit ``models=`` argument overrides it).  ``replica`` is the
+        joining index, ``active_host_counts`` maps each model to its
+        current number of *serving* hosts.
+
+        The default hosts everything — the join can absorb load from any
+        model, which is right for the host-everywhere policies.  Affinity
+        policies override it to keep per-replica model sets (and so cache
+        working sets) narrow.
+        """
+        return list(model_names)
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -78,6 +154,8 @@ class RoundRobinPlacement(PlacementPolicy):
 
     def choose(self, request: Request, hosts: Sequence[int], fleet,
                now: float) -> int:
+        """Next host in cycle; the cursor survives host-set changes, so a
+        shrunk or grown ``hosts`` (lifecycle churn) just re-wraps."""
         replica = hosts[self._cursor % len(hosts)]
         self._cursor += 1
         return replica
@@ -97,6 +175,9 @@ class LeastLoadedPlacement(PlacementPolicy):
 
     def choose(self, request: Request, hosts: Sequence[int], fleet,
                now: float) -> int:
+        """Smallest (backlog seconds, queued samples, index) among the
+        *current* hosts — stateless, so replicas joining or dying between
+        calls are picked up immediately."""
         return min(hosts, key=lambda r: (fleet.backlog_seconds(r, now),
                                          fleet.queued_samples(r), r))
 
@@ -116,6 +197,13 @@ class ModelAffinePlacement(PlacementPolicy):
     bounded cache) and each model's full request stream concentrates on few
     replicas, so batches fill faster — the cache-hit-rate and p99 edge the
     fleet experiment measures.
+
+    Each model also gets a **failover home group**: the cyclically next
+    model's group (with a single group, whatever other replicas exist).
+    When every home replica is dead, :meth:`rehome` re-hosts the model in
+    the failover group rather than on an arbitrary survivor, so affinity —
+    one warm cache per model set — degrades to *pairs* of model sets under
+    failures instead of dissolving into host-everything-everywhere.
     """
 
     name = 'model_affine'
@@ -124,6 +212,8 @@ class ModelAffinePlacement(PlacementPolicy):
         self.assignment = (None if assignment is None
                            else {m: tuple(r) for m, r in assignment.items()})
         self._cursors: dict[str, int] = {}
+        #: model -> its failover home group (filled by partition())
+        self._failover: dict[str, tuple[int, ...]] = {}
 
     def reset(self) -> None:
         self._cursors.clear()
@@ -140,24 +230,82 @@ class ModelAffinePlacement(PlacementPolicy):
                     raise ValueError(
                         f'assignment for {model!r} names invalid replicas '
                         f'{bad or "(none)"} (fleet has {num_replicas})')
-            return {m: self.assignment[m] for m in model_names}
-        num_models = len(model_names)
-        if num_models == 0:
-            return {}
-        if num_models > num_replicas:
-            return {name: (k % num_replicas,)
-                    for k, name in enumerate(model_names)}
-        base, extra = divmod(num_replicas, num_models)
-        hosting: dict[str, tuple[int, ...]] = {}
-        start = 0
-        for k, name in enumerate(model_names):
-            width = base + (1 if k < extra else 0)
-            hosting[name] = tuple(range(start, start + width))
-            start += width
+            hosting = {m: self.assignment[m] for m in model_names}
+        else:
+            num_models = len(model_names)
+            if num_models == 0:
+                return {}
+            if num_models > num_replicas:
+                hosting = {name: (k % num_replicas,)
+                           for k, name in enumerate(model_names)}
+            else:
+                base, extra = divmod(num_replicas, num_models)
+                hosting = {}
+                start = 0
+                for k, name in enumerate(model_names):
+                    width = base + (1 if k < extra else 0)
+                    hosting[name] = tuple(range(start, start + width))
+                    start += width
+        self._failover = self._failover_groups(list(model_names), hosting,
+                                               num_replicas)
         return hosting
+
+    @staticmethod
+    def _failover_groups(model_names: Sequence[str],
+                         hosting: Mapping[str, tuple[int, ...]],
+                         num_replicas: int) -> dict[str, tuple[int, ...]]:
+        """Failover map: each model falls over to the next model's group.
+
+        With a single distinct group (one model, or everything co-hosted),
+        the failover is every replica *outside* the home group, or the home
+        group itself when the fleet has nowhere else.
+        """
+        failover: dict[str, tuple[int, ...]] = {}
+        for k, name in enumerate(model_names):
+            home = hosting[name]
+            for step in range(1, len(model_names) + 1):
+                other = hosting[model_names[(k + step) % len(model_names)]]
+                if set(other) != set(home):
+                    failover[name] = other
+                    break
+            else:
+                outside = tuple(r for r in range(num_replicas)
+                                if r not in home)
+                failover[name] = outside or home
+        return failover
+
+    def rehome(self, model: str, serving: Sequence[int],
+               hosting: Sequence[int]) -> int:
+        """First serving replica of the model's failover home group; when
+        the whole failover group is down too, fall back to the default
+        lowest-serving-index rule."""
+        group = self._failover.get(model, ())
+        candidates = [r for r in group if r in serving]
+        if candidates:
+            return candidates[0]
+        return super().rehome(model, serving, hosting)
+
+    def models_for_join(self, model_names: Sequence[str], replica: int,
+                        active_host_counts: Mapping[str, int]) -> list[str]:
+        """Preserve affinity on scale-up: host only the *thinnest* model.
+
+        A joining replica takes the model with the fewest serving hosts
+        (ties break in registration order) instead of everything — the
+        whole point of affine placement is that each replica compiles and
+        caches one narrow model set, and scale-up must not dilute it.
+        """
+        if not model_names:
+            return []
+        order = {name: k for k, name in enumerate(model_names)}
+        thinnest = min(model_names,
+                       key=lambda m: (active_host_counts.get(m, 0), order[m]))
+        return [thinnest]
 
     def choose(self, request: Request, hosts: Sequence[int], fleet,
                now: float) -> int:
+        """Cycle a per-model cursor over the model's current hosts (its
+        home group while that is alive; after re-homing, whatever serving
+        hosts the fleet reports)."""
         cursor = self._cursors.get(request.model, 0)
         self._cursors[request.model] = cursor + 1
         return hosts[cursor % len(hosts)]

@@ -43,7 +43,10 @@ class CompletedRequest:
 
     All times are simulated **seconds** since trace start; ``bucket`` is the
     compiled batch bucket that served the request and ``replica`` the fleet
-    replica it ran on (0 under the single-GPU simulator).
+    replica it ran on (0 under the single-GPU simulator).  ``requeued``
+    marks a request that survived a replica failure: it was queued on the
+    dead replica and re-admitted elsewhere, so its latency includes the
+    outage (always ``False`` under the single-GPU simulator).
     """
 
     request: Request
@@ -51,6 +54,7 @@ class CompletedRequest:
     completion: float
     bucket: int
     replica: int = 0
+    requeued: bool = False
 
     @property
     def latency(self) -> float:

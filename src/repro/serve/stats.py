@@ -24,8 +24,14 @@ class ServeStats:
     ``cold_start_seconds``, and the amortized figures are in **seconds**
     (simulated time throughout — the simulator never reads a wall clock).
     ``num_requests`` counts *completed* requests only; with admission
-    control, rejected arrivals appear in ``num_rejected`` and the offered
-    load is their sum (:attr:`offered_requests`).
+    control, rejected arrivals appear in ``num_rejected``, lifecycle
+    casualties (work on a replica that died mid-trace) in
+    ``num_lost_to_failure``, and the offered load is the sum of all three
+    (:attr:`offered_requests`).  The two drop channels are deliberately
+    split: ``rejection_rate`` measures *admission control* (a policy
+    decision under overload) while ``loss_rate`` measures *failures*, so
+    rejection-rate comparisons between static and autoscaled runs stay
+    apples-to-apples.
     """
 
     num_requests: int
@@ -52,18 +58,43 @@ class ServeStats:
     cold_start_seconds: float = 0.0
     #: arrivals turned away by admission control (policy.max_queue)
     num_rejected: int = 0
+    #: requests lost to a replica failure: in-flight on the dead GPU, or
+    #: queued there and not re-admittable — no live host, or every
+    #: survivor's admission bound refused the transfer.  Failure-caused
+    #: drops land here even when an admission check did the refusing;
+    #: ``num_rejected`` stays an *arrival-time* policy channel (never
+    #: silent either way)
+    num_lost_to_failure: int = 0
+    #: queued requests re-admitted onto a surviving replica after a failure
+    #: (they complete with their original arrival, so the outage shows up in
+    #: their latency, not in a dropped count)
+    num_requeued: int = 0
+    #: integral of live replicas over the run (replica-**seconds**, simulated)
+    #: — the capacity bill an autoscaled run is judged by
+    replica_seconds: float = 0.0
+    #: simulated tuning seconds paid by replicas that *joined* mid-run
+    #: (split from ``cold_start_seconds``, which is the pre-trace bill)
+    scale_up_tuning_seconds: float = 0.0
 
     @property
     def offered_requests(self) -> int:
-        """Total arrivals: completed plus rejected."""
-        return self.num_requests + self.num_rejected
+        """Total arrivals: completed plus rejected plus lost to failure."""
+        return self.num_requests + self.num_rejected + self.num_lost_to_failure
 
     @property
     def rejection_rate(self) -> float:
-        """Fraction of offered requests turned away by admission control."""
+        """Fraction of offered requests turned away by admission control
+        (failure losses are counted separately — see :attr:`loss_rate`)."""
         if self.offered_requests == 0:
             return 0.0
         return self.num_rejected / self.offered_requests
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered requests lost to replica failures."""
+        if self.offered_requests == 0:
+            return 0.0
+        return self.num_lost_to_failure / self.offered_requests
 
     @property
     def cache_hit_rate(self) -> float:
@@ -89,7 +120,9 @@ class ServeStats:
 
 def compute_stats(completions, batches, registry=None,
                   cold_start_seconds: Optional[float] = None,
-                  rejected=()) -> ServeStats:
+                  rejected=(), lost=(), num_requeued: int = 0,
+                  replica_seconds: float = 0.0,
+                  scale_up_tuning_seconds: float = 0.0) -> ServeStats:
     """Fold completion records and dispatches into a :class:`ServeStats`.
 
     ``completions`` are the simulator's per-request records (``request``,
@@ -98,20 +131,19 @@ def compute_stats(completions, batches, registry=None,
     contributes the compile-side accounting (or, for a fleet, any object
     with a ``models`` mapping and ``total_compile_seconds``); pass
     ``cold_start_seconds`` to override (e.g. when the registry was warmed
-    from disk and charged nothing).
+    from disk and charged nothing).  The lifecycle channel — ``lost``
+    (requests dropped by replica failures), ``num_requeued``,
+    ``replica_seconds``, ``scale_up_tuning_seconds`` — is filled by fleet
+    runs with autoscaling or failure injection and stays zero otherwise.
+
+    A run with offered load but **zero completions** (every request
+    rejected or lost — e.g. failure injection killing the whole fleet at
+    t=0) still reports: latency fields come back NaN (undefined, and NaN
+    never fakes an SLO pass), throughput zero, and the rejection/loss
+    channels carry the story.  Only a run with no requests at all raises.
     """
-    if not completions:
+    if not completions and not rejected and not lost:
         raise ValueError('cannot compute serving stats of an empty run')
-    arrivals = np.asarray([c.request.arrival for c in completions])
-    finishes = np.asarray([c.completion for c in completions])
-    latencies_ms = (finishes - arrivals) * 1e3
-    duration = float(finishes.max() - arrivals.min())
-    if duration <= 0:
-        duration = float(finishes.max()) or 1e-12
-    num_samples = int(sum(c.request.size for c in completions))
-    histogram: dict[int, int] = {}
-    for batch in batches:
-        histogram[batch.bucket] = histogram.get(batch.bucket, 0) + 1
 
     hits = misses = transfers = device_transfers = 0
     cold = 0.0
@@ -125,6 +157,42 @@ def compute_stats(completions, batches, registry=None,
         cold = registry.total_compile_seconds
     if cold_start_seconds is not None:
         cold = cold_start_seconds
+
+    # everything except the latency/throughput block, shared by both
+    # construction sites so a future field cannot drift between them
+    channels = dict(
+        cache_hits=hits, cache_misses=misses,
+        cache_transfer_hits=transfers,
+        cache_device_transfer_hits=device_transfers,
+        cold_start_seconds=cold,
+        num_rejected=len(rejected),
+        num_lost_to_failure=len(lost),
+        num_requeued=num_requeued,
+        replica_seconds=replica_seconds,
+        scale_up_tuning_seconds=scale_up_tuning_seconds,
+    )
+
+    if not completions:
+        nan = float('nan')
+        return ServeStats(
+            num_requests=0, num_samples=0, num_batches=len(batches),
+            duration=0.0, throughput_rps=0.0, throughput_sps=0.0,
+            latency_p50_ms=nan, latency_p95_ms=nan, latency_p99_ms=nan,
+            latency_mean_ms=nan, latency_max_ms=nan,
+            mean_batch_size=0.0, mean_occupancy=0.0,
+            **channels,
+        )
+
+    arrivals = np.asarray([c.request.arrival for c in completions])
+    finishes = np.asarray([c.completion for c in completions])
+    latencies_ms = (finishes - arrivals) * 1e3
+    duration = float(finishes.max() - arrivals.min())
+    if duration <= 0:
+        duration = float(finishes.max()) or 1e-12
+    num_samples = int(sum(c.request.size for c in completions))
+    histogram: dict[int, int] = {}
+    for batch in batches:
+        histogram[batch.bucket] = histogram.get(batch.bucket, 0) + 1
 
     return ServeStats(
         num_requests=len(completions),
@@ -142,12 +210,7 @@ def compute_stats(completions, batches, registry=None,
         mean_occupancy=float(np.mean([b.occupancy for b in batches]))
         if batches else 0.0,
         bucket_histogram=dict(sorted(histogram.items())),
-        cache_hits=hits,
-        cache_misses=misses,
-        cache_transfer_hits=transfers,
-        cache_device_transfer_hits=device_transfers,
-        cold_start_seconds=cold,
-        num_rejected=len(rejected),
+        **channels,
     )
 
 
@@ -179,4 +242,14 @@ def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
         f'amortized {stats.cold_start_amortized_seconds:.2f} s/request over '
         f'this trace',
     ]
+    if stats.num_requeued or stats.num_lost_to_failure:
+        lines.append(
+            f'  lifecycle: {stats.num_requeued} requeued, '
+            f'{stats.num_lost_to_failure} lost to failure '
+            f'({stats.loss_rate * 100:.1f}% of offered)')
+    if stats.replica_seconds:
+        lines.append(
+            f'  capacity: {stats.replica_seconds:.2f} replica-seconds'
+            + (f', scale-up tuning {stats.scale_up_tuning_seconds:.1f} s'
+               if stats.scale_up_tuning_seconds else ''))
     return '\n'.join(lines)

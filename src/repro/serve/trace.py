@@ -3,18 +3,21 @@
 A trace is a time-ordered list of :class:`Request`\\ s.  Generators are
 seeded and fully deterministic: Poisson arrivals model steady load from many
 independent users; the bursty generator modulates a Poisson process with an
-on/off duty cycle (the diurnal-peak / thundering-herd shape that dynamic
-batchers are built for).  Sizes are samples per request — a request carrying
-``size`` samples occupies ``size`` slots of whatever batch bucket serves it.
+on/off duty cycle (square-wave bursts); the diurnal generator modulates it
+with a smooth sinusoid (the daily traffic swell that autoscalers are built
+for).  Sizes are samples per request — a request carrying ``size`` samples
+occupies ``size`` slots of whatever batch bucket serves it.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ['Request', 'poisson_trace', 'bursty_trace', 'merge_traces']
+__all__ = ['Request', 'poisson_trace', 'bursty_trace', 'diurnal_trace',
+           'merge_traces']
 
 
 @dataclass(frozen=True)
@@ -102,6 +105,46 @@ def bursty_trace(burst_qps: float, idle_qps: float, num_requests: int,
             in_burst = not in_burst
             phase_end = t + (burst_seconds if in_burst else idle_seconds)
             continue
+        requests.append(Request(
+            req_id=len(requests),
+            model=names[int(rng.choice(len(names), p=probs))],
+            size=int(rng.choice(list(sizes))),
+            arrival=t))
+    return requests
+
+
+def diurnal_trace(base_qps: float, peak_qps: float, period: float,
+                  duration: float, models: ModelWeights, seed: int = 0,
+                  sizes: Sequence[int] = (1,)) -> list[Request]:
+    """Sinusoidally modulated Poisson arrivals over ``duration`` seconds.
+
+    The instantaneous rate swells from ``base_qps`` (the trough, at multiples
+    of ``period``) to ``peak_qps`` (the crest, at odd half-periods)::
+
+        rate(t) = base_qps + (peak_qps - base_qps) * (1 - cos(2*pi*t/period)) / 2
+
+    — a compressed day of traffic, the shape the fleet autoscaler is sized
+    against.  Arrivals are drawn by thinning a ``peak_qps`` Poisson process
+    (Lewis–Shedler), so the trace is exact for the time-varying rate and
+    fully determined by ``seed``.  ``models`` and ``sizes`` behave as in
+    :func:`poisson_trace`.
+    """
+    if not 0 < base_qps <= peak_qps:
+        raise ValueError('need 0 < base_qps <= peak_qps')
+    if period <= 0 or duration <= 0:
+        raise ValueError('period and duration must be positive')
+    rng = np.random.default_rng(seed)
+    names, probs = _model_sampler(models)
+    requests: list[Request] = []
+    swing = peak_qps - base_qps
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak_qps))
+        if t >= duration:
+            break
+        rate = base_qps + swing * (1.0 - math.cos(2.0 * math.pi * t / period)) / 2.0
+        if float(rng.random()) * peak_qps > rate:
+            continue                     # thinned: crest keeps ~all, trough few
         requests.append(Request(
             req_id=len(requests),
             model=names[int(rng.choice(len(names), p=probs))],

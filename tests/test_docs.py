@@ -1,22 +1,60 @@
-"""The docs tree: existence, link hygiene, and runnable serving snippets.
+"""The docs tree: existence, link hygiene, and runnable doc snippets.
 
-``docs/serving.md`` promises that every ``python`` code block runs against
-the current API; this test executes them in order in one shared namespace,
-exactly as a reader following the tutorial would.  The snippets carry their
-own asserts, so API drift fails here instead of on the next reader.
+``docs/serving.md`` and ``docs/fleet.md`` promise that every ``python``
+code block runs against the current API; this test executes each page's
+blocks in order in one shared namespace, exactly as a reader following the
+tutorial would.  The snippets carry their own asserts, so API drift fails
+here instead of on the next reader — and a failure names the offending doc
+file and snippet index (plus the snippet itself) instead of a bare assert.
 """
+import os
 import pathlib
 import re
+import shutil
+import traceback
 
 import pytest
 
 DOCS = pathlib.Path(__file__).resolve().parent.parent / 'docs'
 
-REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md')
+REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md')
+
+#: pages whose ``python`` blocks form an executable tutorial (run in order,
+#: one shared namespace per page)
+TUTORIAL_PAGES = ('serving.md', 'fleet.md')
 
 
 def python_blocks(text: str) -> list[str]:
     return re.findall(r'```python\n(.*?)```', text, re.DOTALL)
+
+
+def run_page_blocks(page: str, namespace: dict) -> int:
+    """Execute every python block of ``page`` in order; returns the count.
+
+    On any exception the test fails naming the page, the zero-based snippet
+    index, and the snippet source — so a doc regression reads as
+    "docs/fleet.md snippet #3 raised KeyError", not as a bare assert.
+    """
+    blocks = python_blocks((DOCS / page).read_text())
+    try:
+        for i, block in enumerate(blocks):
+            try:
+                code = compile(block, f'docs/{page}[snippet {i}]', 'exec')
+                exec(code, namespace)    # noqa: S102 - the point of the test
+            except Exception:
+                pytest.fail(
+                    f'docs/{page} snippet #{i} failed:\n'
+                    f'{traceback.format_exc()}\n'
+                    f'--- snippet #{i} ---\n{block}')
+    finally:
+        # the tutorials mkdtemp a `workdir` for cache files; the snippets
+        # stay clean of teardown noise, so the harness removes it
+        workdir = namespace.get('workdir')
+        if (isinstance(workdir, str)
+                and os.path.basename(workdir).startswith('repro_')
+                and os.path.isdir(workdir)):
+            shutil.rmtree(workdir, ignore_errors=True)
+    return len(blocks)
 
 
 def test_docs_tree_exists():
@@ -37,20 +75,24 @@ def test_docs_internal_links_resolve():
 
 def test_serving_doc_snippets_run(capsys):
     """Execute every python block of docs/serving.md, in order, shared ns."""
-    blocks = python_blocks((DOCS / 'serving.md').read_text())
-    assert len(blocks) >= 5, 'the serving tutorial lost its code blocks'
-    namespace: dict = {}
-    for i, block in enumerate(blocks):
-        code = compile(block, f'docs/serving.md[block {i}]', 'exec')
-        exec(code, namespace)            # noqa: S102 - the point of the test
+    count = run_page_blocks('serving.md', {})
+    assert count >= 5, 'the serving tutorial lost its code blocks'
     # the tutorial's own prints are the snippets' output; swallow them
     capsys.readouterr()
 
 
-def test_other_docs_snippets_are_marked_non_runnable():
+def test_fleet_doc_snippets_run(capsys):
+    """Execute every python block of docs/fleet.md, in order, shared ns."""
+    count = run_page_blocks('fleet.md', {})
+    assert count >= 5, 'the fleet tutorial lost its code blocks'
+    capsys.readouterr()
+
+
+def test_other_docs_snippets_are_marked_non_runnable(capsys):
     """architecture.md / cache.md illustrate with ``text`` blocks or inline
     code; if someone adds a ``python`` block there it must run too."""
-    for page in ('architecture.md', 'cache.md'):
-        for i, block in enumerate(python_blocks((DOCS / page).read_text())):
-            code = compile(block, f'docs/{page}[block {i}]', 'exec')
-            exec(code, {})               # noqa: S102
+    for page in REQUIRED_PAGES:
+        if page in TUTORIAL_PAGES:
+            continue
+        run_page_blocks(page, {})
+    capsys.readouterr()
