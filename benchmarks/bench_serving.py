@@ -13,9 +13,16 @@ Also runnable as a script:
 ``python bench_serving.py [--smoke] [--fleet] [--lifecycle]`` — ``--smoke``
 replays a reduced trace over scaled-down model shapes, and combines with
 either fleet flag to run the reduced experiments; each path finishes in
-well under ten seconds.
+well under ten seconds.  Every smoke mode also validates the committed
+``examples/deployment_spec.json`` through the spec CLI
+(``python -m repro.serve.deployment --validate``), so the example spec and
+the validator cannot rot apart.
 """
 import argparse
+import os
+import pathlib
+import subprocess
+import sys
 
 from common import write_result
 from repro.experiments.serving import (format_qps_sweep, format_serving,
@@ -25,6 +32,39 @@ from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing
                                      run_fleet_sizing, run_placement_comparison)
 from repro.experiments.lifecycle import (format_autoscaling, format_scaleup,
                                          run_autoscaling, run_scaleup_warmup)
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLE_SPEC = REPO_ROOT / 'examples' / 'deployment_spec.json'
+
+_example_spec_validated = False
+
+
+def _validate_example_spec() -> None:
+    """CI gate: the committed example deployment spec must stay valid.
+
+    Exercises the exact command a CI pipeline would run
+    (``python -m repro.serve.deployment --validate spec.json``) in a
+    subprocess, so the CLI entry point is covered too — not just the
+    library path.  Validated once per process: the smoke entries each gate
+    on it, and re-spawning an interpreter per entry would spend the smoke
+    wall-clock budgets on redundant validations of the same file.
+    """
+    global _example_spec_validated
+    if _example_spec_validated:
+        return
+    env = dict(os.environ)
+    env['PYTHONPATH'] = (str(REPO_ROOT / 'src')
+                         + os.pathsep + env.get('PYTHONPATH', ''))
+    proc = subprocess.run(
+        [sys.executable, '-m', 'repro.serve.deployment',
+         '--validate', str(EXAMPLE_SPEC)],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 0, (
+        f'examples/deployment_spec.json failed validation:\n'
+        f'{proc.stdout}{proc.stderr}')
+    assert proc.stdout.startswith('OK:'), proc.stdout
+    _example_spec_validated = True
 
 
 def _check(report):
@@ -165,6 +205,7 @@ def bench_serving_lifecycle(benchmark):
 
 def smoke() -> str:
     """Reduced serving run (scaled-down models, 200-request trace)."""
+    _validate_example_spec()
     report = run_serving(num_requests=200, buckets=(1, 4), smoke=True)
     _check(report)
     return format_serving(report)
@@ -172,11 +213,13 @@ def smoke() -> str:
 
 def fleet_smoke() -> str:
     """Reduced fleet experiments (tiny transformer pair, <10s)."""
+    _validate_example_spec()
     return _run_fleet(smoke=True)
 
 
 def lifecycle_smoke() -> str:
     """Reduced lifecycle experiments (tiny transformer pair, <10s)."""
+    _validate_example_spec()
     return _run_lifecycle(smoke=True)
 
 
@@ -192,14 +235,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.fleet or args.lifecycle:
         # the two experiment families compose: --fleet --lifecycle runs both
+        # (the *_smoke entries also gate on the example spec validating)
         sections = []
         if args.fleet:
-            text = _run_fleet(smoke=args.smoke)
+            text = fleet_smoke() if args.smoke else _run_fleet(smoke=False)
             if not args.smoke:
                 write_result('serving_fleet', text)
             sections.append(text)
         if args.lifecycle:
-            text = _run_lifecycle(smoke=args.smoke)
+            text = (lifecycle_smoke() if args.smoke
+                    else _run_lifecycle(smoke=False))
             if not args.smoke:
                 write_result('serving_lifecycle', text)
             sections.append(text)

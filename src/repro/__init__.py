@@ -7,13 +7,27 @@ Public API highlights:
 * ``repro.ir``: the tensor-program IR and ``FunctionBuilder``.
 * ``repro.graph``: computation graphs, operators, and ``trace`` helpers.
 * ``repro.models``: ResNet-50 / Inception-V3 / MobileNet-V2 / Bert / GPT-2.
-* ``repro.runtime``: the end-to-end compile pipeline (``optimize``).
+* ``repro.runtime``: the end-to-end compile pipeline (``optimize``, also
+  re-exported here as ``repro.optimize``).
+* ``repro.serve``: the simulated serving stack (registry, batcher, fleet,
+  lifecycle, and the declarative ``DeploymentSpec``/``Deployment`` API);
+  imported lazily on first attribute access.
 * ``repro.baselines``: loop-oriented scheduling, AutoTVM/Ansor-like tuners,
   kernel-library and framework executors used in the paper's evaluation.
 """
 __version__ = '0.1.0'
 
 from .core import repeat, spatial, column_repeat, column_spatial, auto_map, TaskMapping
+from .runtime import optimize
 
 __all__ = ['repeat', 'spatial', 'column_repeat', 'column_spatial', 'auto_map',
-           'TaskMapping', '__version__']
+           'TaskMapping', 'optimize', 'serve', '__version__']
+
+
+def __getattr__(name):
+    # repro.serve pulls in the whole serving stack; load it on first touch
+    # so `import repro` stays as light as the compiler pipeline alone
+    if name == 'serve':
+        import importlib
+        return importlib.import_module('.serve', __name__)
+    raise AttributeError(f'module {__name__!r} has no attribute {name!r}')

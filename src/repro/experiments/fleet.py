@@ -25,15 +25,14 @@ from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..gpusim.device import DeviceSpec, LAPTOP_GPU, RTX3090
-from ..runtime.cache import ScheduleCache
-from ..serve import (BATCH_OVERHEAD_SECONDS, BatchingPolicy, Fleet,
-                     FleetSimulator, LeastLoadedPlacement,
-                     ModelAffinePlacement, ModelRegistry,
-                     RoundRobinPlacement, ServeStats, poisson_trace)
+from ..serve import (BATCH_OVERHEAD_SECONDS, BatchingSpec, CacheSpec,
+                     Deployment, DeploymentSpec, Fleet, ModelRegistry,
+                     ModelSpec, PlacementSpec, ReplicaGroupSpec, ServeStats,
+                     poisson_trace, register_device)
 from .serving import FULL_MODELS, _zoo_builder
 
 __all__ = ['FLEET_SMOKE_MODELS', 'PlacementReport', 'run_placement_comparison',
@@ -55,10 +54,39 @@ FLEET_SMOKE_MODELS = {
 }
 
 
-def _register_models(target, model_cfgs: dict, buckets, built: dict) -> None:
-    for name, kwargs in model_cfgs.items():
-        target.register(name, builder=_zoo_builder(name, kwargs, built),
-                        buckets=buckets)
+def _device_name(device: DeviceSpec) -> str:
+    """A spec-addressable name for ``device``, registering it if needed.
+
+    Experiments accept arbitrary :class:`DeviceSpec` objects (a caller can
+    sweep hardware parameters with ``dataclasses.replace``), but specs
+    address devices by name.  A tweaked device that reuses a stock name
+    gets a derived unique one instead of colliding with the registered
+    original.
+    """
+    from ..serve import available_devices, resolve_device
+    suffix = 0
+    while True:
+        name = device.name if suffix == 0 else f'{device.name}@{suffix}'
+        if name not in available_devices():
+            register_device(device, name=name)
+            return name
+        if resolve_device(name) == device:
+            return name
+        suffix += 1
+
+
+def _model_specs(model_cfgs: dict, buckets) -> tuple[ModelSpec, ...]:
+    """One :class:`ModelSpec` per configured zoo model, shared ladder."""
+    return tuple(ModelSpec(name=name, max_batch=max(buckets),
+                           buckets=tuple(buckets), config=kwargs)
+                 for name, kwargs in model_cfgs.items())
+
+
+def _builders(model_cfgs: dict, built: dict) -> dict:
+    """Memoized zoo builders for :class:`Deployment` — graph construction
+    is pure host work, so a sweep's deployments share the built graphs."""
+    return {name: _zoo_builder(name, kwargs, built)
+            for name, kwargs in model_cfgs.items()}
 
 
 def _probe_models(model_cfgs: dict, buckets, built: dict,
@@ -141,6 +169,10 @@ def run_placement_comparison(num_replicas: int = 4,
     model's raw heaviness.  Offered load is ``offered_load_factor`` × the
     fleet's aggregate fully-batched capacity; the default sits just below
     saturation, the regime where batching quality shows up in the tail.
+
+    The two fleets are one :class:`DeploymentSpec` apart: the comparison is
+    ``replace(base, placement=...)`` — the A/B pattern the declarative API
+    exists for.
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     built: dict = {}
@@ -154,19 +186,23 @@ def run_placement_comparison(num_replicas: int = 4,
     qps = offered_load_factor * fleet_capacity
     trace = poisson_trace(qps=qps, num_requests=num_requests,
                           models=capacities, seed=seed)
-    policy = BatchingPolicy(max_batch=max(buckets), max_wait=max_wait)
+    base = DeploymentSpec(
+        models=_model_specs(model_cfgs, buckets),
+        replicas=(ReplicaGroupSpec(device=RTX3090.name, count=num_replicas),),
+        batching=BatchingSpec(max_batch=max(buckets), max_wait=max_wait),
+        cache=CacheSpec(max_entries=bound))
+    builders = _builders(model_cfgs, built)
 
     stats: dict[str, ServeStats] = {}
     growth: dict[str, float] = {}
-    for placement in (RoundRobinPlacement(), ModelAffinePlacement()):
-        fleet = Fleet([RTX3090] * num_replicas, placement=placement,
-                      max_cache_entries=bound)
-        _register_models(fleet, model_cfgs, buckets, built)
-        fleet.build()
-        result = FleetSimulator(fleet, policy).run(trace)
-        growth[placement.name] = _grow_ladders(fleet, grown_bucket)
+    for policy_name in ('round_robin', 'model_affine'):
+        deployment = Deployment(
+            replace(base, placement=PlacementSpec(policy=policy_name)),
+            builders=builders)
+        result = deployment.run(trace)
+        growth[policy_name] = _grow_ladders(deployment.fleet, grown_bucket)
         # stats *after* the growth wave so cache traffic includes it
-        stats[placement.name] = result.stats()
+        stats[policy_name] = result.stats()
 
     return PlacementReport(
         num_replicas=num_replicas,
@@ -240,34 +276,49 @@ def run_device_transfer(model: str = 'resnet50', buckets=(1, 2, 4),
     measurement per GEMM family), so its tuning bill is a fraction of a
     cold tune; the price is a possibly slightly sub-optimal schedule, which
     the report surfaces as ``latency_penalty``.
+
+    All three single-replica stacks (donor, cold target, warm target) are
+    spec mutations of one base :class:`DeploymentSpec` — the donor persists
+    its cache through ``CacheSpec.save_to``, the warm target adopts it
+    through ``warm_from`` + ``enable_device_transfer``.
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     kwargs = model_cfgs.get(model, {})
     built: dict = {}
-    builder = _zoo_builder(model, kwargs, built)
+    builders = {model: _zoo_builder(model, kwargs, built)}
+    donor_name = _device_name(donor)
+    target_name = _device_name(target)
 
     with tempfile.TemporaryDirectory(prefix='repro_fleet_') as tmp:
         path = os.path.join(tmp, 'donor_schedules.json')
-        donor_registry = ModelRegistry(device=donor, cache_path=path)
-        donor_registry.register(model, builder=builder, buckets=buckets)
+        base = DeploymentSpec(
+            models=(ModelSpec(name=model, max_batch=max(buckets),
+                              buckets=tuple(buckets), config=kwargs),),
+            replicas=(ReplicaGroupSpec(device=donor_name),),
+            batching=BatchingSpec(max_batch=max(buckets)))
+        Deployment(replace(base, cache=CacheSpec(save_to=path)),
+                   builders=builders).build()
 
-        cold = ModelRegistry(device=target)
-        cold.register(model, builder=builder, buckets=buckets)
+        on_target = replace(
+            base, replicas=(ReplicaGroupSpec(device=target_name),))
+        cold = Deployment(on_target, builders=builders).build()
+        warm = Deployment(
+            replace(on_target, cache=CacheSpec(warm_from=path,
+                                               enable_device_transfer=True)),
+            builders=builders).build()
 
-        warm = ModelRegistry(device=target, cache=ScheduleCache.load(path),
-                             enable_device_transfer=True)
-        warm.register(model, builder=builder, buckets=buckets)
-
-    traffic = warm[model].cache_traffic()
+    cold_registry = cold.fleet.replicas[0].registry
+    warm_registry = warm.fleet.replicas[0].registry
+    traffic = warm_registry[model].cache_traffic()
     first = min(buckets)
     return DeviceTransferReport(
-        donor_device=donor.name,
-        target_device=target.name,
-        cold_seconds=cold.total_compile_seconds,
-        warm_seconds=warm.total_compile_seconds,
+        donor_device=donor_name,
+        target_device=target_name,
+        cold_seconds=cold_registry.total_compile_seconds,
+        warm_seconds=warm_registry.total_compile_seconds,
         device_transfer_hits=traffic['device_transfer_hits'],
-        warm_latency_ms=warm[model].latency(first) * 1e3,
-        cold_latency_ms=cold[model].latency(first) * 1e3,
+        warm_latency_ms=warm_registry[model].latency(first) * 1e3,
+        cold_latency_ms=cold_registry[model].latency(first) * 1e3,
     )
 
 
@@ -338,12 +389,15 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
     instead of a meaningless divergent p99.
 
     Tuning is paid once: the model set compiles into a temporary cache file
-    first, and every candidate fleet warms from it (exact hits, zero
-    simulated tuning seconds) — sweeping fleet sizes costs no re-tuning,
-    which is itself the schedule-reuse story at fleet scale.
+    first (a donor deployment with ``CacheSpec.save_to``), and every
+    candidate fleet warms from it (exact hits, zero simulated tuning
+    seconds) — sweeping fleet sizes costs no re-tuning, which is itself the
+    schedule-reuse story at fleet scale.  The sweep itself is declarative:
+    every candidate is ``replace(base, replicas=..., batching=...)``.
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     built: dict = {}
+    builders = _builders(model_cfgs, built)
     names = sorted(model_cfgs)
     trace = poisson_trace(qps=qps, num_requests=num_requests, models=names,
                           seed=seed)
@@ -353,18 +407,24 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
                                qps=qps, num_requests=num_requests)
     with tempfile.TemporaryDirectory(prefix='repro_sizing_') as tmp:
         path = os.path.join(tmp, 'schedules.json')
-        donor = ModelRegistry(cache_path=path)
-        _register_models(donor, model_cfgs, buckets, built)
+        base = DeploymentSpec(
+            models=_model_specs(model_cfgs, buckets),
+            replicas=(ReplicaGroupSpec(device=RTX3090.name),),
+            batching=BatchingSpec(max_batch=max(buckets)),
+            placement=PlacementSpec(policy='least_loaded'))
+        Deployment(replace(base, cache=CacheSpec(save_to=path)),
+                   builders=builders).build()
 
         for n in range(1, max_replicas + 1):
             for max_wait in max_wait_knobs:
-                fleet = Fleet([RTX3090] * n, placement=LeastLoadedPlacement(),
-                              warm_from=path)
-                _register_models(fleet, model_cfgs, buckets, built)
-                policy = BatchingPolicy(max_batch=max(buckets),
-                                        max_wait=max_wait,
-                                        max_queue=max_queue)
-                stats = FleetSimulator(fleet, policy).run(trace).stats(
+                spec = replace(
+                    base,
+                    replicas=(ReplicaGroupSpec(device=RTX3090.name, count=n),),
+                    batching=BatchingSpec(max_batch=max(buckets),
+                                          max_wait=max_wait,
+                                          max_queue=max_queue),
+                    cache=CacheSpec(warm_from=path))
+                stats = Deployment(spec, builders=builders).run(trace).stats(
                     cold_start_seconds=0.0)
                 meets = (stats.latency_p99_ms <= slo_p99_ms
                          and stats.rejection_rate <= max_rejection_rate)

@@ -25,18 +25,17 @@ from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
 
 from ..gpusim.device import LAPTOP_GPU, RTX3090, DeviceSpec
-from ..serve import (Autoscaler, AutoscalerConfig, BatchingPolicy, Fleet,
-                     FleetSimulator, LeastLoadedPlacement,
-                     ScheduledDiurnalPolicy, ServeStats, diurnal_trace,
-                     poisson_trace)
-from ..serve.registry import ModelRegistry
-from .fleet import FLEET_SMOKE_MODELS, _probe_models, _register_models
+from ..serve import (AutoscaleSpec, BatchingSpec, CacheSpec, Deployment,
+                     DeploymentSpec, PlacementSpec, ReplicaGroupSpec,
+                     ServeStats, diurnal_trace, poisson_trace)
+from .fleet import (FLEET_SMOKE_MODELS, _builders, _device_name,
+                    _model_specs, _probe_models)
 from .serving import FULL_MODELS
 
 __all__ = ['AutoscaleStaticPoint', 'AutoscaleReport', 'run_autoscaling',
@@ -109,6 +108,7 @@ def run_autoscaling(slo_p99_ms: float, peak_replicas: int = 3,
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     built: dict = {}
+    builders = _builders(model_cfgs, built)
     _, capacities = _probe_models(model_cfgs, buckets, built, RTX3090)
     # one replica's aggregate capacity under the capacity-weighted mix
     unit = sum(capacities.values()) / len(capacities)
@@ -118,8 +118,6 @@ def run_autoscaling(slo_p99_ms: float, peak_replicas: int = 3,
     trace = diurnal_trace(base_qps=base_qps, peak_qps=peak_qps,
                           period=period, duration=duration,
                           models=capacities, seed=seed)
-    policy = BatchingPolicy(max_batch=max(buckets), max_wait=max_wait,
-                            max_queue=max_queue)
     report = AutoscaleReport(slo_p99_ms=slo_p99_ms,
                              max_rejection_rate=max_rejection_rate,
                              base_qps=base_qps, peak_qps=peak_qps,
@@ -128,15 +126,21 @@ def run_autoscaling(slo_p99_ms: float, peak_replicas: int = 3,
 
     with tempfile.TemporaryDirectory(prefix='repro_lifecycle_') as tmp:
         path = os.path.join(tmp, 'schedules.json')
-        donor = ModelRegistry(cache_path=path)
-        _register_models(donor, model_cfgs, buckets, built)
+        base = DeploymentSpec(
+            models=_model_specs(model_cfgs, buckets),
+            replicas=(ReplicaGroupSpec(device=RTX3090.name),),
+            batching=BatchingSpec(max_batch=max(buckets), max_wait=max_wait,
+                                  max_queue=max_queue),
+            placement=PlacementSpec(policy='least_loaded'),
+            cache=CacheSpec(warm_from=path))
+        Deployment(replace(base, cache=CacheSpec(save_to=path)),
+                   builders=builders).build()       # donor: tune once, share
 
         # -- static sizing walk: smallest fleet meeting the SLO on this trace
         for n in range(1, peak_replicas + 2):
-            fleet = Fleet([RTX3090] * n, placement=LeastLoadedPlacement(),
-                          warm_from=path)
-            _register_models(fleet, model_cfgs, buckets, built)
-            stats = FleetSimulator(fleet, policy).run(trace).stats(
+            spec = replace(base, replicas=(
+                ReplicaGroupSpec(device=RTX3090.name, count=n),))
+            stats = Deployment(spec, builders=builders).run(trace).stats(
                 cold_start_seconds=0.0)
             meets = (stats.latency_p99_ms <= slo_p99_ms
                      and stats.rejection_rate <= max_rejection_rate)
@@ -152,20 +156,20 @@ def run_autoscaling(slo_p99_ms: float, peak_replicas: int = 3,
     # -- autoscaled: follow the load shape, crest at the static optimum
         trough = report.trough_replicas
         crest = report.static_replicas
-        schedule: list[tuple[float, int]] = [(0.0, trough)]
+        schedule: list[list[float]] = [[0.0, trough]]
         for k in range(num_periods):
-            schedule.append((k * period + 0.08 * period, crest))
-            schedule.append((k * period + 0.85 * period, trough))
-        scaler = Autoscaler(
-            ScheduledDiurnalPolicy(schedule),
-            AutoscalerConfig(min_replicas=trough, max_replicas=crest,
-                             interval=period / 50, cooldown=0.0,
-                             scale_increment=max(1, crest - trough)),
-            device=RTX3090)
-        fleet = Fleet([RTX3090] * trough, placement=LeastLoadedPlacement(),
-                      warm_from=path)
-        _register_models(fleet, model_cfgs, buckets, built)
-        result = FleetSimulator(fleet, policy, autoscaler=scaler).run(trace)
+            schedule.append([k * period + 0.08 * period, crest])
+            schedule.append([k * period + 0.85 * period, trough])
+        elastic = replace(
+            base,
+            replicas=(ReplicaGroupSpec(device=RTX3090.name, count=trough),),
+            autoscale=AutoscaleSpec(
+                policy='scheduled_diurnal', options={'schedule': schedule},
+                min_replicas=trough, max_replicas=crest,
+                interval=period / 50, cooldown=0.0,
+                scale_increment=max(1, crest - trough),
+                device=RTX3090.name))
+        result = Deployment(elastic, builders=builders).run(trace)
         report.autoscaled = result.stats(cold_start_seconds=0.0)
         report.num_joins = sum(1 for e in result.events if e.kind == 'join')
         report.num_retires = sum(1 for e in result.events
@@ -268,6 +272,7 @@ def run_scaleup_warmup(slo_p99_ms: float, join_fraction: float = 0.25,
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     built: dict = {}
+    builders = _builders(model_cfgs, built)
     _, capacities = _probe_models(model_cfgs, buckets, built, RTX3090)
     unit = sum(capacities.values()) / len(capacities)
     qps = overload_factor * unit
@@ -275,29 +280,33 @@ def run_scaleup_warmup(slo_p99_ms: float, join_fraction: float = 0.25,
                           models=capacities, seed=seed)
     span = trace[-1].arrival
     join_at = join_fraction * span
-    policy = BatchingPolicy(max_batch=max(buckets), max_wait=max_wait,
-                            max_queue=max_queue)
+    join_device_name = _device_name(join_device)
     report = ScaleUpReport(slo_p99_ms=slo_p99_ms, join_at=join_at, qps=qps,
                            num_requests=num_requests,
-                           join_device=join_device.name)
+                           join_device=join_device_name)
 
     with tempfile.TemporaryDirectory(prefix='repro_scaleup_') as tmp:
         path = os.path.join(tmp, 'donor_schedules.json')
-        donor = ModelRegistry(cache_path=path)
-        _register_models(donor, model_cfgs, buckets, built)
+        base = DeploymentSpec(
+            models=_model_specs(model_cfgs, buckets),
+            replicas=(ReplicaGroupSpec(device=RTX3090.name),),
+            batching=BatchingSpec(max_batch=max(buckets), max_wait=max_wait,
+                                  max_queue=max_queue),
+            placement=PlacementSpec(policy='least_loaded'),
+            autoscale=AutoscaleSpec(
+                policy='scheduled_diurnal',
+                options={'schedule': [[0.0, 1], [join_at, 2]]},
+                min_replicas=1, max_replicas=2,
+                interval=max(join_at / 4, 1e-6), cooldown=0.0,
+                device=join_device_name))
+        Deployment(replace(base, autoscale=None,
+                           cache=CacheSpec(save_to=path)),
+                   builders=builders).build()       # donor: tune once, share
 
         for warm in (True, False):
-            scaler = Autoscaler(
-                ScheduledDiurnalPolicy([(0.0, 1), (join_at, 2)]),
-                AutoscalerConfig(min_replicas=1, max_replicas=2,
-                                 interval=max(join_at / 4, 1e-6),
-                                 cooldown=0.0),
-                device=join_device)
-            fleet = Fleet([RTX3090], placement=LeastLoadedPlacement(),
-                          warm_from=path if warm else None)
-            _register_models(fleet, model_cfgs, buckets, built)
-            result = FleetSimulator(fleet, policy,
-                                    autoscaler=scaler).run(trace)
+            spec = (replace(base, cache=CacheSpec(warm_from=path))
+                    if warm else base)
+            result = Deployment(spec, builders=builders).run(trace)
             post_p99 = _post_join_p99_ms(result, join_at)
             joined = result.fleet.replicas[-1]
             if warm:

@@ -15,7 +15,12 @@ mid-trace through :mod:`repro.serve.lifecycle`: an :class:`Autoscaler`
 (queue-depth / p99-target / scheduled-diurnal policies) joins and drains
 replicas while a trace runs, and a :class:`FailureInjector` kills them —
 with re-homing, requeue/loss accounting, and a replica-seconds bill (see
-``docs/fleet.md``).
+``docs/fleet.md``).  The whole stack is also describable as *data*: a
+frozen, JSON-round-trippable :class:`DeploymentSpec` tree built and run
+through the :class:`Deployment` façade, with string-keyed registries for
+placement and autoscale policies (``register_placement`` /
+``register_autoscale_policy``) and named devices (``register_device``) so
+third parties plug in without touching core (see ``docs/deployment.md``).
 
 Quickstart::
 
@@ -38,13 +43,34 @@ from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
                         BATCH_OVERHEAD_SECONDS)
 from .stats import ServeStats, compute_stats, format_serving_report
 from .placement import (PlacementPolicy, RoundRobinPlacement,
-                        LeastLoadedPlacement, ModelAffinePlacement)
+                        LeastLoadedPlacement, ModelAffinePlacement,
+                        register_placement, make_placement,
+                        available_placements)
 from .lifecycle import (LifecycleEvent, AutoscalePolicy, QueueDepthPolicy,
                         P99TargetPolicy, ScheduledDiurnalPolicy,
                         AutoscalerConfig, Autoscaler, FailureEvent,
-                        FailureInjector)
+                        FailureInjector, register_autoscale_policy,
+                        make_autoscale_policy, available_autoscale_policies)
 from .fleet import (Fleet, Replica, FleetSimulator, FleetResult,
                     format_fleet_report)
+
+#: re-exported lazily through ``__getattr__`` so ``python -m
+#: repro.serve.deployment`` can execute the module as ``__main__`` without
+#: runpy finding a second, already-imported copy in ``sys.modules``
+_DEPLOYMENT_EXPORTS = (
+    'SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec', 'BatchingSpec',
+    'PlacementSpec', 'AutoscaleSpec', 'FailureSpec', 'CacheSpec',
+    'DeploymentSpec', 'Deployment', 'register_device', 'available_devices',
+    'resolve_device', 'SPEC_FORMAT_VERSION')
+
+
+def __getattr__(name):
+    if name in _DEPLOYMENT_EXPORTS or name == 'deployment':
+        import importlib
+        module = importlib.import_module('.deployment', __name__)
+        return module if name == 'deployment' else getattr(module, name)
+    raise AttributeError(f'module {__name__!r} has no attribute {name!r}')
+
 
 __all__ = [
     'Request', 'poisson_trace', 'bursty_trace', 'diurnal_trace',
@@ -56,8 +82,15 @@ __all__ = [
     'ServeStats', 'compute_stats', 'format_serving_report',
     'PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
     'ModelAffinePlacement',
+    'register_placement', 'make_placement', 'available_placements',
     'Fleet', 'Replica', 'FleetSimulator', 'FleetResult', 'format_fleet_report',
     'LifecycleEvent', 'AutoscalePolicy', 'QueueDepthPolicy', 'P99TargetPolicy',
     'ScheduledDiurnalPolicy', 'AutoscalerConfig', 'Autoscaler',
     'FailureEvent', 'FailureInjector',
+    'register_autoscale_policy', 'make_autoscale_policy',
+    'available_autoscale_policies',
+    'SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec', 'BatchingSpec',
+    'PlacementSpec', 'AutoscaleSpec', 'FailureSpec', 'CacheSpec',
+    'DeploymentSpec', 'Deployment', 'register_device', 'available_devices',
+    'resolve_device', 'SPEC_FORMAT_VERSION',
 ]

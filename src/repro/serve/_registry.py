@@ -1,0 +1,53 @@
+"""Shared string-keyed factory registry for spec-addressable policies.
+
+:mod:`repro.serve.placement` and :mod:`repro.serve.lifecycle` both expose
+``register_* / make_* / available_*`` triplets so the declarative
+deployment layer can name policies by string; the mechanics live here
+once.  (The device registry in :mod:`repro.serve.deployment` is *not* an
+instance of this: it stores frozen values compared by equality, not
+factories compared by identity.)
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ['FactoryRegistry']
+
+
+class FactoryRegistry:
+    """String keys -> callables returning fresh policy objects.
+
+    ``kind`` names what is registered (error texts), ``hint`` the public
+    registration function to point users at.  Re-registering the *same*
+    factory under a name is a no-op; a conflicting re-registration raises
+    — silently shadowing a policy would make two equal specs build
+    different deployments.
+    """
+
+    def __init__(self, kind: str, hint: str):
+        self.kind = kind
+        self.hint = hint
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable) -> None:
+        if not callable(factory):
+            raise TypeError(f'{self.kind} factory for {name!r} must be '
+                            f'callable')
+        existing = self._factories.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(f'{self.kind} {name!r} is already registered '
+                             f'with a different factory')
+        self._factories[name] = factory
+
+    def available(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def make(self, name: str, **options):
+        if name not in self._factories:
+            raise ValueError(
+                f'unknown {self.kind} {name!r} (registered: '
+                f'{self.available()}; {self.hint} adds more)')
+        return self._factories[name](**options)

@@ -446,12 +446,14 @@ class FleetSimulator:
     :meth:`serving_replicas`, and :meth:`recent_p99_ms`.
     """
 
-    def __init__(self, fleet: Fleet, policy: BatchingPolicy = BatchingPolicy(),
+    def __init__(self, fleet: Fleet, policy: Optional[BatchingPolicy] = None,
                  batch_overhead: float = BATCH_OVERHEAD_SECONDS,
                  autoscaler: Optional[Autoscaler] = None,
                  failures: Optional[Sequence[FailureEvent]] = None):
         self.fleet = fleet
-        self.policy = policy
+        # a fresh default per instance — a module-load-time shared default
+        # would alias every simulator constructed without a policy
+        self.policy = policy if policy is not None else BatchingPolicy()
         self.batch_overhead = batch_overhead
         self.autoscaler = autoscaler
         self.failures = tuple(failures) if failures is not None else ()

@@ -24,13 +24,16 @@ its schedule from a seed, so a lifecycle run replays identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..gpusim.device import DeviceSpec, RTX3090
+from ._registry import FactoryRegistry
 
 __all__ = ['LifecycleEvent', 'AutoscalePolicy', 'QueueDepthPolicy',
            'P99TargetPolicy', 'ScheduledDiurnalPolicy', 'AutoscalerConfig',
-           'Autoscaler', 'FailureEvent', 'FailureInjector']
+           'Autoscaler', 'FailureEvent', 'FailureInjector',
+           'register_autoscale_policy', 'make_autoscale_policy',
+           'available_autoscale_policies']
 
 
 @dataclass(frozen=True)
@@ -183,6 +186,46 @@ class ScheduledDiurnalPolicy(AutoscalePolicy):
             else:
                 break
         return target
+
+
+# ---------------------------------------------------------------------------
+# the autoscale-policy registry: string keys -> policy factories
+#
+# Mirrors :func:`repro.serve.placement.register_placement`: the declarative
+# deployment layer names autoscaling policies by string so a serialized
+# spec survives a JSON round-trip, and third parties plug in without
+# touching core.
+
+_AUTOSCALE_POLICIES = FactoryRegistry('autoscale policy',
+                                      'register_autoscale_policy()')
+
+
+def register_autoscale_policy(name: str,
+                              factory: Callable[..., AutoscalePolicy]) -> None:
+    """Register an autoscale-policy factory under a spec-addressable name.
+
+    ``factory(**options)`` must return a fresh :class:`AutoscalePolicy`;
+    an :class:`~repro.serve.deployment.AutoscaleSpec` with that ``name``
+    then builds through it.  Same-factory re-registration is a no-op; a
+    conflicting one raises.
+    """
+    _AUTOSCALE_POLICIES.register(name, factory)
+
+
+def available_autoscale_policies() -> list[str]:
+    """Registered autoscale-policy names, sorted."""
+    return _AUTOSCALE_POLICIES.available()
+
+
+def make_autoscale_policy(name: str, **options) -> AutoscalePolicy:
+    """Build a fresh policy by registered name (``options`` go to the
+    factory); unknown names raise listing what *is* registered."""
+    return _AUTOSCALE_POLICIES.make(name, **options)
+
+
+register_autoscale_policy('queue_depth', QueueDepthPolicy)
+register_autoscale_policy('p99_target', P99TargetPolicy)
+register_autoscale_policy('scheduled_diurnal', ScheduledDiurnalPolicy)
 
 
 # ---------------------------------------------------------------------------

@@ -125,10 +125,12 @@ class ServerSimulator:
     """
 
     def __init__(self, registry: ModelRegistry,
-                 policy: BatchingPolicy = BatchingPolicy(),
+                 policy: Optional[BatchingPolicy] = None,
                  batch_overhead: float = BATCH_OVERHEAD_SECONDS):
         self.registry = registry
-        self.policy = policy
+        # a fresh default per instance — a module-load-time shared default
+        # would alias every simulator constructed without a policy
+        self.policy = policy if policy is not None else BatchingPolicy()
         self.batch_overhead = batch_overhead
 
     def service_time(self, model: str, bucket: int) -> float:

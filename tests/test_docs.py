@@ -17,11 +17,12 @@ import pytest
 
 DOCS = pathlib.Path(__file__).resolve().parent.parent / 'docs'
 
-REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md')
+REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md',
+                  'deployment.md')
 
 #: pages whose ``python`` blocks form an executable tutorial (run in order,
 #: one shared namespace per page)
-TUTORIAL_PAGES = ('serving.md', 'fleet.md')
+TUTORIAL_PAGES = ('serving.md', 'fleet.md', 'deployment.md')
 
 
 def python_blocks(text: str) -> list[str]:
@@ -85,6 +86,13 @@ def test_fleet_doc_snippets_run(capsys):
     """Execute every python block of docs/fleet.md, in order, shared ns."""
     count = run_page_blocks('fleet.md', {})
     assert count >= 5, 'the fleet tutorial lost its code blocks'
+    capsys.readouterr()
+
+
+def test_deployment_doc_snippets_run(capsys):
+    """Execute every python block of docs/deployment.md, in order."""
+    count = run_page_blocks('deployment.md', {})
+    assert count >= 5, 'the deployment tutorial lost its code blocks'
     capsys.readouterr()
 
 

@@ -7,13 +7,25 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
-def test_quickstart_example_runs():
+def _run_example(name: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env['PYTHONPATH'] = (str(REPO_ROOT / 'src')
                          + os.pathsep + env.get('PYTHONPATH', ''))
-    proc = subprocess.run(
-        [sys.executable, str(REPO_ROOT / 'examples' / 'quickstart.py')],
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / 'examples' / name)],
         capture_output=True, text=True, env=env, timeout=300)
+
+
+def test_quickstart_example_runs():
+    proc = _run_example('quickstart.py')
     assert proc.returncode == 0, proc.stderr
     assert 'executed on the functional simulator: OK' in proc.stdout
     assert 'max error' in proc.stdout
+
+
+def test_deploy_fleet_example_runs():
+    """The ~20-line spec-driven fleet run must keep working end to end."""
+    proc = _run_example('deploy_fleet.py')
+    assert proc.returncode == 0, proc.stderr
+    assert 'spec-driven fleet' in proc.stdout
+    assert 'per replica' in proc.stdout
