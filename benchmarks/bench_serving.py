@@ -4,13 +4,17 @@ Produces the serving report (throughput, p50/p95/p99, occupancy, cache hit
 rate, warm-start accounting), a QPS -> p99 curve over a shared registry,
 with ``--fleet`` the multi-replica story (model-affine vs round-robin
 placement, a heterogeneous replica warming from a foreign-device cache, an
-SLO-driven fleet-sizing sweep), and with ``--lifecycle`` the fleet-shape
+SLO-driven fleet-sizing sweep), with ``--lifecycle`` the fleet-shape
 story: diurnal autoscaling beating static sizing on replica-seconds at the
 same p99 SLO, and warm (cache-transfer) scale-up beating cold scale-up on
-tuning-seconds-to-SLO.
+tuning-seconds-to-SLO, and with ``--packing`` the memory story:
+DRAM-aware placement serving the same p99 SLO on strictly fewer replicas
+than memory-blind least-loaded, with failover re-homing that never
+overflows a survivor's memory.
 
 Also runnable as a script:
-``python bench_serving.py [--smoke] [--fleet] [--lifecycle]`` — ``--smoke``
+``python bench_serving.py [--smoke] [--fleet] [--lifecycle] [--packing]``
+— ``--smoke``
 replays a reduced trace over scaled-down model shapes, and combines with
 either fleet flag to run the reduced experiments; each path finishes in
 well under ten seconds.  Every smoke mode also validates the committed
@@ -28,8 +32,10 @@ from common import write_result
 from repro.experiments.serving import (format_qps_sweep, format_serving,
                                        run_qps_sweep, run_serving)
 from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing,
-                                     format_placement, run_device_transfer,
-                                     run_fleet_sizing, run_placement_comparison)
+                                     format_memory_packing, format_placement,
+                                     run_device_transfer, run_fleet_sizing,
+                                     run_memory_packing,
+                                     run_placement_comparison)
 from repro.experiments.lifecycle import (format_autoscaling, format_scaleup,
                                          run_autoscaling, run_scaleup_warmup)
 
@@ -154,6 +160,44 @@ def bench_serving_fleet(benchmark):
     write_result('serving_fleet', text)
 
 
+def _check_packing(packing):
+    # the acceptance claims of the memory-aware placement subsystem
+    assert packing.packed_replicas_used < packing.spread_replicas_used, (
+        f'memory-aware packing must use strictly fewer replicas than '
+        f'memory-blind least-loaded, got {packing.packed_replicas_used} vs '
+        f'{packing.spread_replicas_used}')
+    assert packing.packed.latency_p99_ms <= packing.slo_p99_ms, (
+        f'the packed fleet must hold the p99 SLO, got '
+        f'{packing.packed.latency_p99_ms:.3f} ms vs {packing.slo_p99_ms:.3f}')
+    assert packing.spread.latency_p99_ms <= packing.slo_p99_ms, (
+        'the spread fleet must hold the same p99 SLO — otherwise the '
+        'comparison is not at equal service quality')
+    assert packing.num_rehomed > 0, (
+        'the seeded kill must orphan models that then re-home onto spares')
+    assert packing.failover_capacity_ok, (
+        'failover re-homing must never overflow a survivor\'s DRAM')
+    assert packing.failover_conserved, (
+        'every request must be completed, rejected, or counted as lost')
+
+
+def _run_packing(smoke: bool) -> str:
+    """The memory-packing experiment at one scale, checked and formatted."""
+    if smoke:
+        packing = run_memory_packing(num_requests=400, buckets=(1, 2),
+                                     smoke=True)
+    else:
+        packing = run_memory_packing()
+    _check_packing(packing)
+    return format_memory_packing(packing)
+
+
+def bench_serving_packing(benchmark):
+    """Memory acceptance: packing serves the same SLO on fewer replicas."""
+    text = benchmark.pedantic(lambda: _run_packing(smoke=False),
+                              rounds=1, iterations=1)
+    write_result('serving_packing', text)
+
+
 def _check_lifecycle(autoscale, scaleup):
     # the acceptance claims of the fleet lifecycle subsystem
     assert autoscale.static is not None, (
@@ -223,6 +267,12 @@ def lifecycle_smoke() -> str:
     return _run_lifecycle(smoke=True)
 
 
+def packing_smoke() -> str:
+    """Reduced memory-packing experiment (tiny transformer quad, <10s)."""
+    _validate_example_spec()
+    return _run_packing(smoke=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--smoke', action='store_true',
@@ -232,10 +282,13 @@ def main(argv=None) -> int:
     parser.add_argument('--lifecycle', action='store_true',
                         help='run the autoscaling / failure lifecycle '
                              'experiments')
+    parser.add_argument('--packing', action='store_true',
+                        help='run the memory-aware packing experiment')
     args = parser.parse_args(argv)
-    if args.fleet or args.lifecycle:
-        # the two experiment families compose: --fleet --lifecycle runs both
-        # (the *_smoke entries also gate on the example spec validating)
+    if args.fleet or args.lifecycle or args.packing:
+        # the experiment families compose: --fleet --lifecycle --packing
+        # runs all three (the *_smoke entries also gate on the example
+        # spec validating)
         sections = []
         if args.fleet:
             text = fleet_smoke() if args.smoke else _run_fleet(smoke=False)
@@ -247,6 +300,12 @@ def main(argv=None) -> int:
                     else _run_lifecycle(smoke=False))
             if not args.smoke:
                 write_result('serving_lifecycle', text)
+            sections.append(text)
+        if args.packing:
+            text = (packing_smoke() if args.smoke
+                    else _run_packing(smoke=False))
+            if not args.smoke:
+                write_result('serving_packing', text)
             sections.append(text)
         print('\n\n'.join(sections))
     elif args.smoke:

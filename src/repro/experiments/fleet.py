@@ -30,15 +30,20 @@ from typing import Optional, Sequence
 
 from ..gpusim.device import DeviceSpec, LAPTOP_GPU, RTX3090
 from ..serve import (BATCH_OVERHEAD_SECONDS, BatchingSpec, CacheSpec,
-                     Deployment, DeploymentSpec, Fleet, ModelRegistry,
-                     ModelSpec, PlacementSpec, ReplicaGroupSpec, ServeStats,
-                     poisson_trace, register_device)
+                     Deployment, DeploymentSpec, FailureSpec, Fleet,
+                     MemoryOverflowError, ModelRegistry, ModelSpec,
+                     PlacementSpec, ReplicaGroupSpec, ServeStats,
+                     footprint_from_graphs, format_bytes, poisson_trace,
+                     register_device)
 from .serving import FULL_MODELS, _zoo_builder
 
 __all__ = ['FLEET_SMOKE_MODELS', 'PlacementReport', 'run_placement_comparison',
            'format_placement', 'DeviceTransferReport', 'run_device_transfer',
            'format_device_transfer', 'FleetSizingPoint', 'FleetSizingReport',
-           'run_fleet_sizing', 'format_fleet_sizing']
+           'run_fleet_sizing', 'format_fleet_sizing',
+           'PACKING_SMOKE_MODELS', 'PACKING_FULL_MODELS',
+           'MemoryPackingReport', 'run_memory_packing',
+           'format_memory_packing']
 
 #: even smaller than serving's SMOKE_MODELS: a fleet compiles a model once
 #: per hosting replica, so the smoke budget divides by the replica count.
@@ -345,16 +350,23 @@ def format_device_transfer(report: DeviceTransferReport) -> str:
 
 @dataclass
 class FleetSizingPoint:
-    """One candidate config of the sizing sweep."""
+    """One candidate config of the sizing sweep.
+
+    ``infeasible`` marks a config the memory model rejected before any
+    request was served (the model set does not fit the candidate fleet's
+    DRAM); such points carry no :class:`ServeStats`.
+    """
 
     num_replicas: int
     max_wait: float
-    stats: ServeStats
+    stats: Optional[ServeStats]
     meets_slo: bool
+    infeasible: bool = False
 
     @property
     def p99_ms(self) -> float:
-        return self.stats.latency_p99_ms
+        return (self.stats.latency_p99_ms if self.stats is not None
+                else float('inf'))
 
 
 @dataclass
@@ -377,6 +389,8 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
                      max_rejection_rate: float = 0.01,
                      buckets=(1, 2, 4, 8),
                      seed: int = 0,
+                     placement: str = 'least_loaded',
+                     replica_memory_bytes: Optional[int] = None,
                      smoke: bool = False) -> FleetSizingReport:
     """Walk replica counts and batching knobs to the cheapest SLO-meeting config.
 
@@ -394,6 +408,14 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
     seconds) — sweeping fleet sizes costs no re-tuning, which is itself the
     schedule-reuse story at fleet scale.  The sweep itself is declarative:
     every candidate is ``replace(base, replicas=..., batching=...)``.
+
+    ``placement`` names the routing policy candidates run under, and
+    ``replica_memory_bytes`` caps every candidate replica's DRAM (the donor
+    keeps the device's stock capacity — tuning is a compute question, not a
+    residency one).  A candidate whose model set does not fit its fleet's
+    DRAM is recorded as an *infeasible* point rather than aborting the
+    sweep: undersized fleets can now fail on memory before they fail on
+    latency, and the report shows which wall they hit.
     """
     model_cfgs = FLEET_SMOKE_MODELS if smoke else FULL_MODELS
     built: dict = {}
@@ -411,7 +433,7 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
             models=_model_specs(model_cfgs, buckets),
             replicas=(ReplicaGroupSpec(device=RTX3090.name),),
             batching=BatchingSpec(max_batch=max(buckets)),
-            placement=PlacementSpec(policy='least_loaded'))
+            placement=PlacementSpec(policy=placement))
         Deployment(replace(base, cache=CacheSpec(save_to=path)),
                    builders=builders).build()
 
@@ -419,13 +441,21 @@ def run_fleet_sizing(slo_p99_ms: float, qps: float,
             for max_wait in max_wait_knobs:
                 spec = replace(
                     base,
-                    replicas=(ReplicaGroupSpec(device=RTX3090.name, count=n),),
+                    replicas=(ReplicaGroupSpec(
+                        device=RTX3090.name, count=n,
+                        memory_bytes=replica_memory_bytes),),
                     batching=BatchingSpec(max_batch=max(buckets),
                                           max_wait=max_wait,
                                           max_queue=max_queue),
                     cache=CacheSpec(warm_from=path))
-                stats = Deployment(spec, builders=builders).run(trace).stats(
-                    cold_start_seconds=0.0)
+                try:
+                    stats = Deployment(spec, builders=builders).run(
+                        trace).stats(cold_start_seconds=0.0)
+                except MemoryOverflowError:
+                    report.points.append(FleetSizingPoint(
+                        num_replicas=n, max_wait=max_wait, stats=None,
+                        meets_slo=False, infeasible=True))
+                    continue
                 meets = (stats.latency_p99_ms <= slo_p99_ms
                          and stats.rejection_rate <= max_rejection_rate)
                 point = FleetSizingPoint(num_replicas=n, max_wait=max_wait,
@@ -446,6 +476,11 @@ def format_fleet_sizing(report: FleetSizingReport) -> str:
         f'  {"replicas":>9s} {"max_wait ms":>12s} {"p99 ms":>9s} '
         f'{"rejected":>9s} {"occupancy":>10s}  verdict']
     for p in report.points:
+        if p.infeasible:
+            lines.append(
+                f'  {p.num_replicas:9d} {p.max_wait * 1e3:12.2f} '
+                f'{"-":>9s} {"-":>9s} {"-":>10s}  over DRAM')
+            continue
         verdict = 'MEETS SLO' if p.meets_slo else 'misses'
         lines.append(
             f'  {p.num_replicas:9d} {p.max_wait * 1e3:12.2f} '
@@ -458,4 +493,223 @@ def format_fleet_sizing(report: FleetSizingReport) -> str:
             f'(p99 {report.chosen.p99_ms:.3f} ms)')
     else:
         lines.append('  no config within the sweep met the SLO')
+    return '\n'.join(lines)
+
+
+# ---------------------------------------------------------------------------
+# memory-aware packing
+
+
+#: four DRAM-distinct aliases of the tiny transformer pair — hidden size
+#: drives the parameter count quadratically, so the footprints spread
+#: enough that bin packing has real decisions to make
+PACKING_SMOKE_MODELS = {
+    'bert_s': ('bert', {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+                        'hidden': 32, 'heads': 2}),
+    'gpt2_s': ('gpt2', {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+                        'hidden': 48, 'heads': 4}),
+    'bert_l': ('bert', {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+                        'hidden': 64, 'heads': 4}),
+    'gpt2_l': ('gpt2', {'layers': 1, 'seq_length': 16, 'vocab_size': 500,
+                        'hidden': 96, 'heads': 4}),
+}
+
+#: the same shape family at paper-adjacent scale for full benchmark runs
+PACKING_FULL_MODELS = {
+    'bert_s': ('bert', {'layers': 2, 'seq_length': 32, 'vocab_size': 2000,
+                        'hidden': 64, 'heads': 4}),
+    'gpt2_s': ('gpt2', {'layers': 2, 'seq_length': 32, 'vocab_size': 2000,
+                        'hidden': 96, 'heads': 4}),
+    'bert_l': ('bert', {'layers': 2, 'seq_length': 32, 'vocab_size': 2000,
+                        'hidden': 128, 'heads': 8}),
+    'gpt2_l': ('gpt2', {'layers': 2, 'seq_length': 32, 'vocab_size': 2000,
+                        'hidden': 192, 'heads': 8}),
+}
+
+
+@dataclass
+class MemoryPackingReport:
+    """Memory-aware packing vs memory-blind spreading, plus a failover run.
+
+    Three runs of the same trace against the same four models and the same
+    DRAM-capped replica pool: the ``memory_aware`` packer, the
+    ``least_loaded`` spreader, and the packed deployment again with a
+    seeded replica kill mid-trace.
+    """
+
+    slo_p99_ms: float
+    qps: float
+    num_requests: int
+    replica_memory_bytes: int             # per-replica DRAM cap
+    footprints: dict[str, int]            # model -> declared reservation
+    packed: ServeStats
+    spread: ServeStats
+    packed_replicas_used: int             # replicas hosting >= 1 model
+    spread_replicas_used: int
+    failover: ServeStats
+    num_rehomed: int                      # rehome events in the failover run
+    num_evicted: int                      # evictions the rehomes forced
+    #: every failover survivor stayed within its DRAM capacity
+    failover_capacity_ok: bool
+    #: trace length == completions + rejections + losses on the failover run
+    failover_conserved: bool
+
+    @property
+    def replica_savings(self) -> int:
+        return self.spread_replicas_used - self.packed_replicas_used
+
+
+def _replicas_used(fleet: Fleet) -> int:
+    """Replicas the placement actually put at least one model on."""
+    return len({r for hosts in fleet.hosting.values() for r in hosts})
+
+
+def run_memory_packing(num_replicas: int = 4,
+                       num_requests: int = 1200,
+                       buckets=(1, 2, 4),
+                       max_wait: float = 2e-3,
+                       load_factor: float = 0.3,
+                       slo_factor: float = 6.0,
+                       seed: int = 0,
+                       smoke: bool = False) -> MemoryPackingReport:
+    """Same SLO, fewer replicas: DRAM-aware placement as a packing problem.
+
+    Four transformer variants with measured, well-separated DRAM footprints
+    are deployed onto a pool of ``num_replicas`` identical replicas whose
+    capacity is deliberately tight: the sum of the two *largest* footprints
+    (``ReplicaGroupSpec.memory_bytes`` — the registered device is
+    untouched).  First-fit-decreasing then provably needs two replicas for
+    the four models, so the ``memory_aware`` policy serves the whole trace
+    from two machines while capacity-checked ``least_loaded`` spreads
+    copies across the entire pool.  Both runs must hold the same p99 SLO —
+    computed up front from the models' own batch latencies, not fitted to
+    either run.
+
+    The third run replays the packed deployment with one seeded replica
+    kill over the trace's first half (drawn over the two *loaded* replicas,
+    so the kill always orphans models).  The orphans re-home onto the spare
+    replicas through the capacity-checked ``rehome`` path — the claim under
+    test is that failover never overflows a survivor's DRAM, with eviction
+    of redundant idle models as the pressure valve when the spares are
+    tighter than here.
+
+    Tuning is paid once: a single-replica donor with stock DRAM compiles
+    all four models into a cache file and every comparison fleet warms from
+    it, so the A/B/failover trio measures placement, not compilation.
+    """
+    model_cfgs = PACKING_SMOKE_MODELS if smoke else PACKING_FULL_MODELS
+    top = max(buckets)
+    builders = {alias: _zoo_builder(zoo, kwargs, {})
+                for alias, (zoo, kwargs) in model_cfgs.items()}
+
+    # measured footprints (weights + workspace + per-bucket activations),
+    # declared back onto the specs so placement and validation see them
+    # without re-measuring
+    footprints = {
+        alias: footprint_from_graphs(
+            alias, {b: builder(b) for b in buckets}).total_bytes
+        for alias, builder in builders.items()}
+    two_largest = sorted(footprints.values(), reverse=True)[:2]
+    capacity = sum(two_largest)
+
+    specs = tuple(ModelSpec(name=alias, max_batch=top, buckets=tuple(buckets),
+                            memory_bytes=footprints[alias])
+                  for alias in model_cfgs)
+
+    with tempfile.TemporaryDirectory(prefix='repro_packing_') as tmp:
+        path = os.path.join(tmp, 'schedules.json')
+        donor_spec = DeploymentSpec(
+            models=specs,
+            replicas=(ReplicaGroupSpec(device=RTX3090.name),),
+            batching=BatchingSpec(max_batch=top, max_wait=max_wait),
+            cache=CacheSpec(save_to=path))
+        donor = Deployment(donor_spec, builders=builders).build()
+        registry = donor.fleet.replicas[0].registry
+        capacities = {alias: top / (registry[alias].latency(top)
+                                    + BATCH_OVERHEAD_SECONDS)
+                      for alias in model_cfgs}
+        slo_p99_ms = slo_factor * 1e3 * max(
+            registry[alias].latency(top) + BATCH_OVERHEAD_SECONDS + max_wait
+            for alias in model_cfgs)
+
+        qps = load_factor * sum(capacities.values())
+        trace = poisson_trace(qps=qps, num_requests=num_requests,
+                              models=capacities, seed=seed)
+
+        base = DeploymentSpec(
+            models=specs,
+            replicas=(ReplicaGroupSpec(device=RTX3090.name,
+                                       count=num_replicas,
+                                       memory_bytes=capacity),),
+            batching=BatchingSpec(max_batch=top, max_wait=max_wait),
+            placement=PlacementSpec(policy='memory_aware'),
+            cache=CacheSpec(warm_from=path))
+
+        packed_dep = Deployment(base, builders=builders)
+        packed = packed_dep.run(trace)
+        spread_dep = Deployment(
+            replace(base, placement=PlacementSpec(policy='least_loaded')),
+            builders=builders)
+        spread = spread_dep.run(trace)
+
+        # seeded kill over the two replicas FFD actually loaded: the outage
+        # always orphans single-homed models, exercising the re-home path
+        span = max(num_requests / qps * 0.5, 1e-3)
+        failover_dep = Deployment(
+            replace(base, failures=FailureSpec(num_failures=1, num_replicas=2,
+                                               span=span, seed=seed)),
+            builders=builders)
+        failover = failover_dep.run(trace)
+
+    survivors_ok = all(
+        r.memory.peak_committed_bytes <= r.memory.capacity_bytes
+        for r in failover.fleet.replicas if r.memory is not None)
+    conserved = (len(trace) == len(failover.completions)
+                 + len(failover.rejected) + len(failover.lost))
+    return MemoryPackingReport(
+        slo_p99_ms=slo_p99_ms,
+        qps=qps,
+        num_requests=num_requests,
+        replica_memory_bytes=capacity,
+        footprints=footprints,
+        packed=packed.stats(cold_start_seconds=0.0),
+        spread=spread.stats(cold_start_seconds=0.0),
+        packed_replicas_used=_replicas_used(packed.fleet),
+        spread_replicas_used=_replicas_used(spread.fleet),
+        failover=failover.stats(cold_start_seconds=0.0),
+        num_rehomed=sum(1 for e in failover.events if e.kind == 'rehome'),
+        num_evicted=sum(1 for e in failover.events if e.kind == 'evict'),
+        failover_capacity_ok=survivors_ok,
+        failover_conserved=conserved,
+    )
+
+
+def format_memory_packing(report: MemoryPackingReport) -> str:
+    lines = [
+        f'Memory-aware packing: 4 models, replicas capped at '
+        f'{format_bytes(report.replica_memory_bytes)} DRAM, p99 SLO '
+        f'{report.slo_p99_ms:.2f} ms at {report.qps:.0f} qps',
+        '  footprints: ' + ', '.join(
+            f'{name} {format_bytes(nbytes)}'
+            for name, nbytes in sorted(report.footprints.items())),
+        f'  {"policy":>14s} {"replicas used":>14s} {"p99 ms":>9s} '
+        f'{"peak mem util":>14s}  verdict',
+    ]
+    for label, stats, used in (
+            ('memory-aware', report.packed, report.packed_replicas_used),
+            ('least-loaded', report.spread, report.spread_replicas_used)):
+        verdict = ('MEETS SLO' if stats.latency_p99_ms <= report.slo_p99_ms
+                   else 'misses')
+        lines.append(
+            f'  {label:>14s} {used:14d} {stats.latency_p99_ms:9.3f} '
+            f'{stats.peak_memory_utilization * 100:13.0f}%  {verdict}')
+    lines.append(
+        f'  packing saves {report.replica_savings} replicas at the same SLO')
+    lines.append(
+        f'  failover: 1 seeded kill, {report.num_rehomed} re-homes, '
+        f'{report.num_evicted} evictions; survivors within DRAM: '
+        f'{"yes" if report.failover_capacity_ok else "NO"}; '
+        f'requests conserved: '
+        f'{"yes" if report.failover_conserved else "NO"} '
+        f'({report.failover.num_lost_to_failure} lost to the outage)')
     return '\n'.join(lines)

@@ -32,6 +32,7 @@ class DeviceSpec:
     shared_bandwidth_ratio: float = 19.0          # smem bw as multiple of DRAM bw
     kernel_launch_overhead: float = 4e-6          # seconds per kernel launch
     l2_cache_bytes: int = 6 * 1024 * 1024
+    memory_bytes: int = 24 * 1024 ** 3            # DRAM capacity (RTX 3090: 24 GiB)
 
     @property
     def peak_flops(self) -> float:
@@ -58,8 +59,8 @@ def device_family_key(device: DeviceSpec) -> tuple:
     Two devices belong to the same *family* when a candidate kernel
     enumerated for one can at least launch on the other: the per-block and
     per-thread limits that bound the schedule space must agree.  Capacity
-    parameters (SM count, bandwidth, peak FLOPS, shared memory per SM) are
-    deliberately excluded — they change which candidate is *fastest*, which
+    parameters (SM count, bandwidth, peak FLOPS, shared memory per SM, DRAM
+    capacity) are deliberately excluded — they change which candidate is *fastest*, which
     re-measurement on the local device handles, not which candidates exist.
     Per-candidate differences inside a family (e.g. a schedule whose shared
     memory tile exceeds a smaller device's per-block limit) are caught by
@@ -76,10 +77,11 @@ RTX3090 = DeviceSpec(name='RTX3090', num_sms=82)
 A100 = DeviceSpec(
     name='A100', num_sms=108, max_threads_per_sm=2048, max_blocks_per_sm=32,
     shared_memory_per_sm=164 * 1024, peak_fp32_tflops=19.5,
-    peak_bandwidth_gbps=1555.0,
+    peak_bandwidth_gbps=1555.0, memory_bytes=40 * 1024 ** 3,
 )
 
 #: A small laptop-class GPU (for sensitivity studies).
 LAPTOP_GPU = DeviceSpec(
     name='LaptopGPU', num_sms=30, peak_fp32_tflops=10.9, peak_bandwidth_gbps=360.0,
+    memory_bytes=8 * 1024 ** 3,
 )

@@ -38,19 +38,22 @@ from .trace import (Request, poisson_trace, bursty_trace, diurnal_trace,
                     merge_traces)
 from .batcher import (Batch, BatchingPolicy, DynamicBatcher,
                       smallest_covering_bucket)
+from .memory import (MemoryModel, MemoryOverflowError, ModelFootprint,
+                     footprint_from_graphs, format_bytes)
 from .registry import ModelRegistry, RegisteredModel, bucket_ladder
 from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
                         BATCH_OVERHEAD_SECONDS)
 from .stats import ServeStats, compute_stats, format_serving_report
 from .placement import (PlacementPolicy, RoundRobinPlacement,
                         LeastLoadedPlacement, ModelAffinePlacement,
-                        register_placement, make_placement,
+                        MemoryAwarePolicy, register_placement, make_placement,
                         available_placements)
 from .lifecycle import (LifecycleEvent, AutoscalePolicy, QueueDepthPolicy,
                         P99TargetPolicy, ScheduledDiurnalPolicy,
-                        AutoscalerConfig, Autoscaler, FailureEvent,
-                        FailureInjector, register_autoscale_policy,
-                        make_autoscale_policy, available_autoscale_policies)
+                        MemoryPressurePolicy, AutoscalerConfig, Autoscaler,
+                        FailureEvent, FailureInjector,
+                        register_autoscale_policy, make_autoscale_policy,
+                        available_autoscale_policies)
 from .fleet import (Fleet, Replica, FleetSimulator, FleetResult,
                     format_fleet_report)
 
@@ -77,16 +80,18 @@ __all__ = [
     'merge_traces',
     'Batch', 'BatchingPolicy', 'DynamicBatcher', 'smallest_covering_bucket',
     'ModelRegistry', 'RegisteredModel', 'bucket_ladder',
+    'MemoryModel', 'MemoryOverflowError', 'ModelFootprint',
+    'footprint_from_graphs', 'format_bytes',
     'ServerSimulator', 'SimulationResult', 'CompletedRequest',
     'BATCH_OVERHEAD_SECONDS',
     'ServeStats', 'compute_stats', 'format_serving_report',
     'PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
-    'ModelAffinePlacement',
+    'ModelAffinePlacement', 'MemoryAwarePolicy',
     'register_placement', 'make_placement', 'available_placements',
     'Fleet', 'Replica', 'FleetSimulator', 'FleetResult', 'format_fleet_report',
     'LifecycleEvent', 'AutoscalePolicy', 'QueueDepthPolicy', 'P99TargetPolicy',
-    'ScheduledDiurnalPolicy', 'AutoscalerConfig', 'Autoscaler',
-    'FailureEvent', 'FailureInjector',
+    'ScheduledDiurnalPolicy', 'MemoryPressurePolicy', 'AutoscalerConfig',
+    'Autoscaler', 'FailureEvent', 'FailureInjector',
     'register_autoscale_policy', 'make_autoscale_policy',
     'available_autoscale_policies',
     'SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec', 'BatchingSpec',

@@ -211,6 +211,26 @@ class DynamicBatcher:
         self._queues[name] = deque()
         self._queued_samples[name] = 0
 
+    def remove_model(self, name: str) -> None:
+        """Stop batching for an evicted model.
+
+        The fleet's memory-pressure eviction path drops a redundantly
+        hosted model from a replica; its batcher must stop accepting (and
+        stop arming timers for) that model.  Only an *idle* queue may be
+        removed — evicting queued work would silently lose requests, so a
+        non-empty queue raises ``ValueError`` and an unknown model raises
+        ``KeyError``.
+        """
+        if name not in self.buckets:
+            raise KeyError(f'model {name!r} is not batched here')
+        if self._queued_samples[name] > 0:
+            raise ValueError(
+                f'model {name!r} still has {self._queued_samples[name]} '
+                f'queued samples; drain or serve them before removal')
+        del self.buckets[name]
+        del self._queues[name]
+        del self._queued_samples[name]
+
     # -- dispatch decision -----------------------------------------------------
 
     def _eligible(self, model: str, now: float) -> bool:

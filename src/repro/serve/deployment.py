@@ -114,6 +114,15 @@ register_device(A100)
 register_device(LAPTOP_GPU)
 
 
+def _require_device(name: str, field_path: str) -> None:
+    """Shared unknown-device rejection for every spec field naming one."""
+    if name not in _DEVICES:
+        raise SpecValidationError(
+            field_path,
+            f'unknown device {name!r} (registered: '
+            f'{available_devices()}; register_device() adds more)')
+
+
 # ---------------------------------------------------------------------------
 # canonical JSON-compatible values
 
@@ -209,12 +218,18 @@ class ModelSpec:
     :class:`Deployment`'s ``builders`` argument instead (callables cannot
     ride a JSON file).  ``buckets`` overrides the default power-of-two
     ladder up to ``max_batch``.
+
+    ``memory_bytes`` declares the model's DRAM reservation up front:
+    placement packs and validation budgets against this figure instead of
+    measuring the graphs (capacity planning before anything compiles).
+    ``None`` (the default) means "measure at build time".
     """
 
     name: str
     max_batch: int = 8
     buckets: Optional[tuple[int, ...]] = None
     config: dict = field(default_factory=dict)
+    memory_bytes: Optional[int] = None
 
     def __post_init__(self):
         if self.buckets is not None:
@@ -240,10 +255,16 @@ class ModelSpec:
 
 @dataclass(frozen=True)
 class ReplicaGroupSpec:
-    """``count`` replicas on one named device (see :func:`register_device`)."""
+    """``count`` replicas on one named device (see :func:`register_device`).
+
+    ``memory_bytes`` overrides the named device's DRAM capacity for this
+    group only (e.g. modelling a 24 GiB part with 4 GiB fenced off for
+    the runtime) — the registered :class:`DeviceSpec` itself is untouched.
+    """
 
     device: str = 'RTX3090'
     count: int = 1
+    memory_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -370,8 +391,10 @@ class CacheSpec:
 
 
 _NODE_FIELD_TYPES.update({
-    ModelSpec: {'name': str, 'max_batch': int, 'config': dict},
-    ReplicaGroupSpec: {'device': str, 'count': int},
+    ModelSpec: {'name': str, 'max_batch': int, 'config': dict,
+                'memory_bytes': (int, type(None))},
+    ReplicaGroupSpec: {'device': str, 'count': int,
+                       'memory_bytes': (int, type(None))},
     BatchingSpec: {'max_batch': int, 'max_wait': _NUM,
                    'max_queue': (int, type(None))},
     PlacementSpec: {'policy': str, 'options': dict},
@@ -474,6 +497,10 @@ class DeploymentSpec:
                 if bad:
                     raise SpecValidationError(f'{path}.buckets',
                                               f'buckets must be >= 1, got {bad}')
+            if model.memory_bytes is not None and model.memory_bytes < 1:
+                raise SpecValidationError(
+                    f'{path}.memory_bytes',
+                    f'must be >= 1 when given, got {model.memory_bytes}')
             if self.batching.max_batch > max(model.ladder()):
                 raise SpecValidationError(
                     'batching.max_batch',
@@ -494,11 +521,12 @@ class DeploymentSpec:
             if group.count < 1:
                 raise SpecValidationError(f'replicas[{i}].count',
                                           f'must be >= 1, got {group.count}')
-            if group.device not in _DEVICES:
+            _require_device(group.device, f'replicas[{i}].device')
+            if group.memory_bytes is not None and group.memory_bytes < 1:
                 raise SpecValidationError(
-                    f'replicas[{i}].device',
-                    f'unknown device {group.device!r} (registered: '
-                    f'{available_devices()}; register_device() adds more)')
+                    f'replicas[{i}].memory_bytes',
+                    f'must be >= 1 when given, got {group.memory_bytes}')
+        self._validate_memory_budget()
 
         if not isinstance(self.placement, PlacementSpec):
             raise SpecValidationError(
@@ -531,6 +559,41 @@ class DeploymentSpec:
                 f'must be >= 1 when given, got {self.cache.max_entries}')
         return self
 
+    def _validate_memory_budget(self) -> None:
+        """Reject declared model budgets no replica group can serve.
+
+        Only models with a declared ``memory_bytes`` participate —
+        validation must never compile, so measured footprints are unknown
+        here.  Two checks: every declared model must fit the *largest*
+        group capacity (a model bigger than any device can host nowhere),
+        and the declared total must fit the fleet's combined DRAM (with
+        less, some model is guaranteed to have no home even before
+        redundancy).
+        """
+        group_caps = [group.memory_bytes if group.memory_bytes is not None
+                      else _DEVICES[group.device].memory_bytes
+                      for group in self.replicas]
+        largest = max(group_caps)
+        declared_total = 0
+        for i, model in enumerate(self.models):
+            if model.memory_bytes is None:
+                continue
+            declared_total += model.memory_bytes
+            if model.memory_bytes > largest:
+                raise SpecValidationError(
+                    f'models[{i}].memory_bytes',
+                    f'{model.memory_bytes} bytes exceeds the largest replica '
+                    f'capacity ({largest} bytes) — model {model.name!r} '
+                    f'fits no replica group')
+        fleet_total = sum(cap * group.count for cap, group
+                          in zip(group_caps, self.replicas))
+        if declared_total > fleet_total:
+            raise SpecValidationError(
+                'replicas',
+                f'declared model reservations total {declared_total} bytes '
+                f'but the replica groups provide {fleet_total} bytes of '
+                f'DRAM — the assigned models cannot fit')
+
     def _validate_autoscale(self) -> None:
         scale = self.autoscale
         if not isinstance(scale, AutoscaleSpec):
@@ -551,11 +614,7 @@ class DeploymentSpec:
             scale.config()
         except ValueError as exc:
             raise SpecValidationError('autoscale', str(exc)) from exc
-        if scale.device not in _DEVICES:
-            raise SpecValidationError(
-                'autoscale.device',
-                f'unknown device {scale.device!r} (registered: '
-                f'{available_devices()}; register_device() adds more)')
+        _require_device(scale.device, 'autoscale.device')
         initial = self.initial_replicas
         if scale.min_replicas > initial:
             raise SpecValidationError(
@@ -794,7 +853,15 @@ class Deployment:
         if self.simulator is not None:
             return self
         spec, cache = self.spec, self.spec.cache
-        devices = [resolve_device(name) for name in spec.device_names()]
+        devices = []
+        for group in spec.replicas:
+            device = resolve_device(group.device)
+            if group.memory_bytes is not None:
+                # a per-group DRAM override shapes this fleet only; the
+                # registered DeviceSpec stays as registered
+                device = dataclasses.replace(device,
+                                             memory_bytes=group.memory_bytes)
+            devices.extend([device] * group.count)
         fleet = Fleet(devices, placement=spec.placement.build(),
                       warm_from=cache.warm_from,
                       enable_transfer=cache.enable_transfer,
@@ -802,7 +869,8 @@ class Deployment:
                       max_cache_entries=cache.max_entries)
         for model in spec.models:
             fleet.register(model.name, builder=self._builder_for(model),
-                           max_batch=model.max_batch, buckets=model.buckets)
+                           max_batch=model.max_batch, buckets=model.buckets,
+                           memory_bytes=model.memory_bytes)
         fleet.build()
         if cache.save_to is not None:
             for replica in fleet.replicas:

@@ -46,8 +46,9 @@ from ..gpusim.device import DeviceSpec
 from ..runtime.cache import ScheduleCache
 from .batcher import Batch, BatchingPolicy, DynamicBatcher
 from .lifecycle import Autoscaler, FailureEvent, LifecycleEvent
+from .memory import MemoryModel, footprint_from_graphs, format_bytes
 from .placement import PlacementPolicy, RoundRobinPlacement
-from .registry import ModelRegistry, RegisteredModel
+from .registry import ModelRegistry, RegisteredModel, bucket_ladder
 from .simulator import BATCH_OVERHEAD_SECONDS, CompletedRequest
 from .stats import ServeStats, compute_stats, format_serving_report
 from .trace import Request
@@ -76,6 +77,9 @@ class Replica:
     state: str = 'serving'
     joined_at: float = 0.0
     retired_at: Optional[float] = None
+    #: the replica's DRAM ledger (capacity from ``device.memory_bytes``);
+    #: shared with ``registry`` so registrations commit against it
+    memory: Optional[MemoryModel] = None
 
     @property
     def label(self) -> str:
@@ -96,6 +100,11 @@ class Replica:
         """Simulated tuning seconds this replica paid to host its models."""
         return self.registry.total_compile_seconds
 
+    @property
+    def peak_memory_bytes(self) -> int:
+        """High-water mark of committed DRAM bytes (0 without accounting)."""
+        return self.memory.peak_committed_bytes if self.memory else 0
+
 
 @dataclass
 class _ModelSpec:
@@ -103,6 +112,13 @@ class _ModelSpec:
     builder: Optional[GraphBuilder]
     max_batch: int
     buckets: Optional[Sequence[int]]
+    #: declared DRAM reservation; None means "measure from the graphs"
+    memory_bytes: Optional[int] = None
+
+    @property
+    def ladder(self) -> tuple[int, ...]:
+        return (tuple(sorted(set(self.buckets))) if self.buckets
+                else bucket_ladder(self.max_batch))
 
 
 class Fleet:
@@ -152,6 +168,8 @@ class Fleet:
                                        else enable_device_transfer)
         self.max_cache_entries = max_cache_entries
         self._specs: dict[str, _ModelSpec] = {}
+        #: model name -> DRAM bytes its registration reserves (lazy cache)
+        self._footprints: dict[str, int] = {}
         self.replicas: list[Replica] = []
         #: model name -> replica indices that ever hosted it (filled by
         #: build(), grown by add_replica()/host_model(); dead hosts stay
@@ -162,23 +180,54 @@ class Fleet:
 
     def register(self, name: str, builder: Optional[GraphBuilder] = None,
                  max_batch: int = 8,
-                 buckets: Optional[Sequence[int]] = None) -> None:
+                 buckets: Optional[Sequence[int]] = None,
+                 memory_bytes: Optional[int] = None) -> None:
         """Record a model spec for the next :meth:`build`.
 
         Arguments mirror :meth:`ModelRegistry.register`; compilation is
         deferred until the fleet builds so the placement policy can
-        partition the complete model set.
+        partition the complete model set.  ``memory_bytes`` declares the
+        model's DRAM reservation up front (capacity planning against a
+        budget); omitted, the fleet measures it from the model's graphs
+        before partitioning.
         """
         if self.replicas:
             raise RuntimeError('fleet is already built; register models '
                                'before the first simulation')
         if name in self._specs:
             raise ValueError(f'model {name!r} is already registered')
+        if memory_bytes is not None and memory_bytes < 1:
+            raise ValueError(f'memory_bytes must be >= 1, got {memory_bytes}')
         self._specs[name] = _ModelSpec(name=name, builder=builder,
-                                       max_batch=max_batch, buckets=buckets)
+                                       max_batch=max_batch, buckets=buckets,
+                                       memory_bytes=memory_bytes)
 
-    def _new_registry(self, device: DeviceSpec) -> ModelRegistry:
-        """A replica registry over ``device``, warmed from ``warm_from``."""
+    def _reserve_bytes(self, name: str) -> int:
+        """The DRAM reservation registering ``name`` will commit: its
+        declared ``memory_bytes``, or a measurement of the ladder's graphs
+        (weights + workspace + per-bucket activations), cached fleet-wide
+        so partitioning and N replica registrations bill one measurement."""
+        if name not in self._footprints:
+            spec = self._specs[name]
+            if spec.memory_bytes is not None:
+                self._footprints[name] = int(spec.memory_bytes)
+            else:
+                builder = spec.builder
+                if builder is None:
+                    from ..models import for_batch
+                    builder = lambda b, _n=name: for_batch(_n, b)  # noqa: E731
+                graphs = {b: builder(b) for b in spec.ladder}
+                self._footprints[name] = footprint_from_graphs(
+                    name, graphs).total_bytes
+        return self._footprints[name]
+
+    def model_footprints(self) -> dict[str, int]:
+        """model name -> DRAM bytes its registration reserves."""
+        return {name: self._reserve_bytes(name) for name in self._specs}
+
+    def _new_registry(self, device: DeviceSpec, label: str = '') -> ModelRegistry:
+        """A replica registry over ``device``, warmed from ``warm_from``,
+        accounting against the device's DRAM capacity."""
         cache = ScheduleCache(max_entries=self.max_cache_entries)
         if self.warm_from is not None:
             try:
@@ -188,15 +237,23 @@ class Fleet:
         return ModelRegistry(
             device=device, cache=cache,
             enable_transfer=self.enable_transfer,
-            enable_device_transfer=self.enable_device_transfer)
+            enable_device_transfer=self.enable_device_transfer,
+            memory=MemoryModel(device.memory_bytes, label=label))
 
     def _register_on(self, registry: ModelRegistry, name: str) -> None:
         spec = self._specs[name]
         registry.register(name, builder=spec.builder,
-                          max_batch=spec.max_batch, buckets=spec.buckets)
+                          max_batch=spec.max_batch, buckets=spec.buckets,
+                          reserve_bytes=self._reserve_bytes(name))
 
     def build(self) -> 'Fleet':
-        """Partition models over replicas and pre-compile them (idempotent)."""
+        """Partition models over replicas and pre-compile them (idempotent).
+
+        Partitioning is capacity-checked: the policy sees every model's
+        reservation and every replica's DRAM, and a model that fits nowhere
+        raises :class:`~repro.serve.memory.MemoryOverflowError` before any
+        tuning seconds are spent.
+        """
         if self.replicas:
             return self
         if not self._specs:
@@ -204,17 +261,22 @@ class Fleet:
         names = list(self._specs)
         self.hosting = {
             name: tuple(hosts) for name, hosts
-            in self.placement.partition(names, len(self.devices)).items()}
+            in self.placement.partition(
+                names, len(self.devices),
+                footprints=self.model_footprints(),
+                capacities=[d.memory_bytes for d in self.devices]).items()}
         for name in names:
             if not self.hosting.get(name):
                 raise ValueError(f'placement hosts model {name!r} nowhere')
         for index, device in enumerate(self.devices):
-            registry = self._new_registry(device)
+            registry = self._new_registry(device,
+                                          label=f'r{index}:{device.name}')
             for name in names:
                 if index in self.hosting[name]:
                     self._register_on(registry, name)
             self.replicas.append(Replica(index=index, device=device,
-                                         registry=registry))
+                                         registry=registry,
+                                         memory=registry.memory))
         return self
 
     # -- lifecycle ----------------------------------------------------------
@@ -236,20 +298,23 @@ class Fleet:
         if not self.replicas:
             raise RuntimeError('build() the fleet before adding replicas')
         index = len(self.replicas)
-        registry = self._new_registry(device)
+        registry = self._new_registry(device,
+                                      label=f'r{index}:{device.name}')
         if models is not None:
             names = list(models)
         else:
             names = list(self.placement.models_for_join(
                 list(self._specs), index,
-                {m: len(self.active_hosts(m)) for m in self._specs}))
+                {m: len(self.active_hosts(m)) for m in self._specs},
+                footprints=self.model_footprints(),
+                capacity=device.memory_bytes))
         for name in names:
             if name not in self._specs:
                 raise KeyError(f'model {name!r} is not registered '
                                f'(have {sorted(self._specs)})')
             self._register_on(registry, name)
         replica = Replica(index=index, device=device, registry=registry,
-                          joined_at=now)
+                          joined_at=now, memory=registry.memory)
         self.replicas.append(replica)
         for name in names:
             self.hosting[name] = self.hosting[name] + (index,)
@@ -275,6 +340,26 @@ class Fleet:
         self._register_on(replica.registry, model)
         self.hosting[model] = self.hosting[model] + (index,)
         return replica.registry.total_compile_seconds - before
+
+    def evict_model(self, index: int, model: str) -> int:
+        """Drop ``model`` from replica ``index``, freeing its DRAM.
+
+        Returns the bytes released.  This is the *only* path that removes
+        an entry from :attr:`hosting` (dead hosts otherwise stay listed):
+        an evicted model must stop being routable to that replica
+        immediately, or requests would land on a registry that no longer
+        knows it.  The caller is responsible for quiescence — the fleet
+        simulator's eviction path only picks models with no queued or
+        in-flight work on the replica.
+        """
+        replica = self.replicas[index]
+        if model not in replica.registry:
+            raise KeyError(f'replica {replica.label} does not host '
+                           f'{model!r}')
+        freed = replica.registry.evict(model)
+        self.hosting[model] = tuple(r for r in self.hosting[model]
+                                    if r != index)
+        return freed
 
     # -- introspection --------------------------------------------------------
 
@@ -380,7 +465,15 @@ class FleetResult:
                              rejected=self.rejected, lost=self.lost,
                              num_requeued=self.num_requeued,
                              replica_seconds=self.replica_seconds,
-                             scale_up_tuning_seconds=self.scale_up_tuning_seconds)
+                             scale_up_tuning_seconds=self.scale_up_tuning_seconds,
+                             peak_memory_bytes={
+                                 r.label: r.memory.peak_committed_bytes
+                                 for r in self.fleet.replicas
+                                 if r.memory is not None},
+                             memory_capacity_bytes={
+                                 r.label: r.memory.capacity_bytes
+                                 for r in self.fleet.replicas
+                                 if r.memory is not None})
 
     def per_replica(self) -> list[dict]:
         """One summary dict per replica: requests, batches, occupancy,
@@ -407,6 +500,9 @@ class FleetResult:
                                    if mine else 0.0),
                 'busy_seconds': busy,
                 'utilization': busy / window if window > 0 else 0.0,
+                'peak_memory_bytes': replica.peak_memory_bytes,
+                'memory_capacity_bytes': (replica.memory.capacity_bytes
+                                          if replica.memory else 0),
             })
         return rows
 
@@ -474,6 +570,20 @@ class FleetSimulator:
         """Indices of replicas currently routable (state ``'serving'``)."""
         return [r.index for r in self.fleet.replicas if r.is_serving]
 
+    def memory_utilization(self, replica: int) -> float:
+        """Committed fraction of ``replica``'s DRAM (0.0 without
+        accounting) — the signal
+        :class:`~repro.serve.lifecycle.MemoryPressurePolicy` scales on."""
+        memory = self.fleet.replicas[replica].memory
+        return memory.utilization if memory is not None else 0.0
+
+    def free_memory_bytes(self, replica: int) -> int:
+        """Uncommitted DRAM bytes on ``replica`` (full capacity without
+        accounting)."""
+        rep = self.fleet.replicas[replica]
+        return (rep.memory.free_bytes if rep.memory is not None
+                else rep.device.memory_bytes)
+
     def recent_p99_ms(self, now: float, window: float) -> Optional[float]:
         """p99 latency (ms) of completions in the trailing ``window``
         simulated seconds, or ``None`` when none completed — the signal
@@ -534,18 +644,82 @@ class FleetSimulator:
                    self._epoch[replica])
 
     def _try_rehome(self, model: str, now: float) -> Optional[int]:
-        """Give an orphaned model a live host, or ``None`` if none exists."""
+        """Give an orphaned model a live host, or ``None`` if none exists.
+
+        The placement policy sees every survivor's free DRAM and the
+        orphan's reservation, and only answers with a replica the model
+        fits on.  When nothing fits, a policy with ``evict_on_overflow``
+        (the memory-aware packer) lets the fleet evict redundantly hosted,
+        idle models from a survivor to make room; otherwise the orphan's
+        traffic is lost rather than overflowing a device.
+        """
         serving = self.serving_replicas()
         if not serving:
             return None
+        need = self.fleet._reserve_bytes(model)
+        free = {r: self.free_memory_bytes(r) for r in serving}
         target = self.fleet.placement.rehome(model, serving,
-                                             self.fleet.hosting[model])
+                                             self.fleet.hosting[model],
+                                             free_bytes=free,
+                                             need_bytes=need)
+        if target is None and getattr(self.fleet.placement,
+                                      'evict_on_overflow', False):
+            target = self._evict_for_rehome(model, serving, need, now)
+        if target is None:
+            return None
         self._rehome_tuning += self.fleet.host_model(target, model)
         self._batchers[target].add_model(
             model, self.fleet.replicas[target].registry[model].bucket_sizes)
         self._log.append(LifecycleEvent(time=now, kind='rehome',
                                         replica=target, detail=model))
         return target
+
+    def _evict_for_rehome(self, model: str, serving: Sequence[int],
+                          need: int, now: float) -> Optional[int]:
+        """Make room for an orphaned ``model`` by evicting redundant models.
+
+        Survivors are tried most-free-DRAM first.  On each, only models
+        that are (a) also actively hosted elsewhere, (b) idle here (no
+        queued samples) and (c) not the in-flight batch's model are
+        evictable — eviction must never lose work or a model's last copy.
+        Evicts largest-reservation first until the orphan fits; returns
+        the chosen replica, or ``None`` when no survivor can make room.
+        """
+        for target in sorted(serving,
+                             key=lambda r: (-self.free_memory_bytes(r), r)):
+            replica = self.fleet.replicas[target]
+            memory = replica.memory
+            if memory is None:
+                continue
+            batcher = self._batchers[target]
+            in_flight = self._in_flight[target]
+            evictable = []
+            for name in list(replica.registry.models):
+                if name == model:
+                    continue
+                if in_flight is not None and in_flight.model == name:
+                    continue
+                if batcher.pending(name) > 0:
+                    continue
+                others = [r for r in self.fleet.active_hosts(name)
+                          if r != target]
+                if not others:
+                    continue
+                evictable.append(name)
+            freeable = sum(memory.reserved(name) for name in evictable)
+            if memory.free_bytes + freeable < need:
+                continue
+            for name in sorted(evictable,
+                               key=lambda n: -memory.reserved(n)):
+                if memory.free_bytes >= need:
+                    break
+                freed = self.fleet.evict_model(target, name)
+                batcher.remove_model(name)
+                self._log.append(LifecycleEvent(
+                    time=now, kind='evict', replica=target,
+                    detail=f'{name} -{format_bytes(freed)}'))
+            return target
+        return None
 
     def _route(self, request: Request, now: float) -> Optional[int]:
         """The serving replica ``request`` goes to, re-homing if needed;
@@ -677,11 +851,37 @@ class FleetSimulator:
             self._log.append(LifecycleEvent(time=now, kind='retire_done',
                                             replica=replica))
 
+    def _can_absorb(self, victim: int, chosen: set) -> bool:
+        """Scale-down safety: the survivors must be able to take the
+        victim's queued load.  For every model with samples queued on the
+        victim, the remaining active hosts' admission headroom (under
+        ``policy.max_queue``; unbounded queues always absorb) must cover
+        those samples — a conservative static check, since the victim
+        drains its own queue but its *future* traffic shifts to survivors
+        immediately."""
+        cap = self.policy.max_queue
+        if cap is None:
+            return True
+        batcher = self._batchers[victim]
+        for model in batcher.buckets:
+            pending = batcher.pending(model)
+            if pending == 0:
+                continue
+            survivors = [r for r in self.fleet.active_hosts(model)
+                         if r != victim and r not in chosen]
+            headroom = sum(max(0, cap - self._batchers[r].pending(model))
+                           for r in survivors)
+            if headroom < pending:
+                return False
+        return True
+
     def _retire_victims(self, count: int) -> list[int]:
         """Scale-down victims, youngest first; a replica that is (or, once
         the tick's earlier victims drain, would become) the only serving
         host of some model is never drained by the autoscaler — a
-        multi-replica step must not orphan a model between two picks."""
+        multi-replica step must not orphan a model between two picks.
+        A victim whose queued load the survivors cannot absorb (see
+        :meth:`_can_absorb`) is skipped the same way."""
         victims: list[int] = []
         chosen: set[int] = set()
         for replica in sorted(self.serving_replicas(), reverse=True):
@@ -692,7 +892,7 @@ class FleetSimulator:
                       if r not in chosen) == (replica,)
                 for model, hosts in self.fleet.hosting.items()
                 if replica in hosts)
-            if not sole_host:
+            if not sole_host and self._can_absorb(replica, chosen):
                 victims.append(replica)
                 chosen.add(replica)
         return victims
@@ -868,11 +1068,15 @@ def format_fleet_report(result: FleetResult, title: str = 'fleet run') -> str:
     lines = [format_serving_report(stats, title), '  per replica:']
     for row in result.per_replica():
         state = '' if row['state'] == 'serving' else f'  [{row["state"]}]'
+        mem = ''
+        if row['memory_capacity_bytes']:
+            mem = (f'  mem {format_bytes(row["peak_memory_bytes"])}'
+                   f'/{format_bytes(row["memory_capacity_bytes"])} peak')
         lines.append(
             f'    {row["replica"]:16s} {row["requests"]:6d} requests '
             f'{row["batches"]:5d} batches  occupancy '
             f'{row["mean_occupancy"] * 100:3.0f}%  utilization '
-            f'{row["utilization"] * 100:3.0f}%{state}')
+            f'{row["utilization"] * 100:3.0f}%{mem}{state}')
     if result.events:
         lines.append('  lifecycle events:')
         for event in result.events:

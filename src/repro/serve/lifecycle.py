@@ -30,7 +30,8 @@ from ..gpusim.device import DeviceSpec, RTX3090
 from ._registry import FactoryRegistry
 
 __all__ = ['LifecycleEvent', 'AutoscalePolicy', 'QueueDepthPolicy',
-           'P99TargetPolicy', 'ScheduledDiurnalPolicy', 'AutoscalerConfig',
+           'P99TargetPolicy', 'ScheduledDiurnalPolicy',
+           'MemoryPressurePolicy', 'AutoscalerConfig',
            'Autoscaler', 'FailureEvent', 'FailureInjector',
            'register_autoscale_policy', 'make_autoscale_policy',
            'available_autoscale_policies']
@@ -188,6 +189,45 @@ class ScheduledDiurnalPolicy(AutoscalePolicy):
         return target
 
 
+class MemoryPressurePolicy(AutoscalePolicy):
+    """Scale on committed-DRAM pressure across the serving replicas.
+
+    Latency scalers miss a failure mode the memory model introduces: a
+    fleet can be *latency*-healthy while re-homing and ladder growth fill
+    its devices, leaving no headroom for the next orphaned model.  This
+    policy wishes for one more replica when the mean committed fraction
+    (``view.memory_utilization``) exceeds ``scale_up_utilization``, and
+    one fewer when it sits below ``scale_down_utilization`` — the dead
+    band, like :class:`QueueDepthPolicy`'s, prevents flapping.  A joined
+    replica relieves pressure because placement's
+    :meth:`~repro.serve.placement.PlacementPolicy.models_for_join` moves
+    models onto its empty DRAM.
+    """
+
+    name = 'memory_pressure'
+
+    def __init__(self, scale_up_utilization: float = 0.85,
+                 scale_down_utilization: float = 0.3):
+        if not 0 < scale_down_utilization < scale_up_utilization <= 1:
+            raise ValueError(
+                'need 0 < scale_down_utilization < scale_up_utilization <= 1 '
+                '(the dead band prevents flapping)')
+        self.scale_up_utilization = scale_up_utilization
+        self.scale_down_utilization = scale_down_utilization
+
+    def desired_replicas(self, view, now: float, active: int) -> int:
+        serving = view.serving_replicas()
+        if not serving:
+            return active
+        pressure = (sum(view.memory_utilization(r) for r in serving)
+                    / len(serving))
+        if pressure > self.scale_up_utilization:
+            return active + 1
+        if pressure < self.scale_down_utilization:
+            return active - 1
+        return active
+
+
 # ---------------------------------------------------------------------------
 # the autoscale-policy registry: string keys -> policy factories
 #
@@ -226,6 +266,7 @@ def make_autoscale_policy(name: str, **options) -> AutoscalePolicy:
 register_autoscale_policy('queue_depth', QueueDepthPolicy)
 register_autoscale_policy('p99_target', P99TargetPolicy)
 register_autoscale_policy('scheduled_diurnal', ScheduledDiurnalPolicy)
+register_autoscale_policy('memory_pressure', MemoryPressurePolicy)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,222 @@
+"""Per-replica device memory accounting for the serving fleet.
+
+Every replica models its GPU's DRAM as a :class:`MemoryModel`: a capacity in
+bytes (from :attr:`~repro.gpusim.device.DeviceSpec.memory_bytes`) plus a map
+of named reservations.  Model footprints are *computed from the graphs that
+will actually run* rather than guessed — :func:`footprint_from_graphs` walks
+the tensors of each batch bucket's :class:`~repro.graph.flow_graph.FlowGraph`
+and splits them into
+
+* **weights** — constant tensors (parameters), shared by every bucket, so the
+  bill is the maximum over buckets (they are identical in practice);
+* **activations** — non-constant intermediate/output tensors, billed per
+  batch bucket because each bucket is a separately compiled graph; and
+* **workspace** — the single largest transient tensor, a proxy for scratch
+  allocations (tuning workspace, reduction staging) that live outside the
+  graph's named tensors.
+
+Committing more than the capacity raises :class:`MemoryOverflowError`
+*loudly*: memory bugs in a simulator otherwise surface only as silently
+impossible fleet-sizing answers.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    'MemoryOverflowError', 'ModelFootprint', 'footprint_from_graphs',
+    'graph_tensor_bytes', 'MemoryModel', 'format_bytes',
+]
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units), for reports and errors."""
+    value = float(n)
+    for unit in ('B', 'KiB', 'MiB', 'GiB'):
+        if abs(value) < 1024.0 or unit == 'GiB':
+            return f'{value:.1f} {unit}' if unit != 'B' else f'{int(value)} B'
+        value /= 1024.0
+    return f'{int(n)} B'  # pragma: no cover - unreachable
+
+
+class MemoryOverflowError(RuntimeError):
+    """A reservation would exceed a replica's DRAM capacity.
+
+    Raised by :meth:`MemoryModel.commit` and by capacity-checked placement
+    (``partition`` when a model fits on no replica).  Carries the numbers a
+    postmortem needs: what was requested, for whom, and how full the device
+    already was.
+    """
+
+    def __init__(self, label: str, key: str, requested: int,
+                 capacity: int, committed: int) -> None:
+        self.label = label
+        self.key = key
+        self.requested = requested
+        self.capacity = capacity
+        self.committed = committed
+        free = capacity - committed
+        super().__init__(
+            f'{label or "replica"}: cannot reserve '
+            f'{format_bytes(requested)} for {key!r}: '
+            f'{format_bytes(committed)} of {format_bytes(capacity)} '
+            f'committed, {format_bytes(free)} free')
+
+
+def graph_tensor_bytes(graph) -> Dict[str, int]:
+    """Split one FlowGraph's tensors into weight/activation/workspace bytes.
+
+    Tensors are deduplicated by identity: a weight consumed by two operators
+    occupies DRAM once.  Returns a dict with keys ``weights``,
+    ``activations`` and ``workspace`` (largest single non-constant tensor).
+    """
+    seen: Dict[int, object] = {}
+
+    def visit(tensor) -> None:
+        if tensor is not None and id(tensor) not in seen:
+            seen[id(tensor)] = tensor
+
+    for tensor in getattr(graph, 'inputs', ()):
+        visit(tensor)
+    for op in getattr(graph, 'nodes', ()):
+        for tensor in op.inputs:
+            visit(tensor)
+        visit(op.output)
+    for tensor in getattr(graph, 'outputs', ()):
+        visit(tensor)
+
+    weights = 0
+    activations = 0
+    workspace = 0
+    for tensor in seen.values():
+        nbytes = int(tensor.nbytes)
+        if tensor.is_constant:
+            weights += nbytes
+        else:
+            activations += nbytes
+            workspace = max(workspace, nbytes)
+    return {'weights': weights, 'activations': activations,
+            'workspace': workspace}
+
+
+@dataclass(frozen=True)
+class ModelFootprint:
+    """DRAM bill of one registered model across its batch buckets."""
+
+    name: str
+    weights_bytes: int
+    workspace_bytes: int
+    #: bytes of live activations per batch bucket (bucket -> bytes)
+    activation_bytes: Mapping[int, int] = field(default_factory=dict)
+
+    def bytes_for(self, buckets: Optional[Iterable[int]] = None) -> int:
+        """Total reservation for serving the given buckets (default: all)."""
+        if buckets is None:
+            buckets = self.activation_bytes.keys()
+        acts = sum(self.activation_bytes.get(b, 0) for b in buckets)
+        return self.weights_bytes + self.workspace_bytes + acts
+
+    @property
+    def total_bytes(self) -> int:
+        """Reservation with every bucket resident."""
+        return self.bytes_for()
+
+    def bucket_bytes(self, bucket: int) -> int:
+        """Incremental cost of adding one more batch bucket (activations)."""
+        return self.activation_bytes.get(bucket, 0)
+
+
+def footprint_from_graphs(name: str, graphs: Mapping[int, object],
+                          ) -> ModelFootprint:
+    """Compute a :class:`ModelFootprint` from per-bucket FlowGraphs.
+
+    ``graphs`` maps batch bucket -> the FlowGraph compiled for that bucket.
+    Weights are billed once (max over buckets guards against buckets that
+    somehow disagree); activations are billed per bucket; workspace is the
+    largest transient tensor seen anywhere.
+    """
+    if not graphs:
+        raise ValueError(f'model {name!r}: no graphs to measure')
+    weights = 0
+    workspace = 0
+    activations: Dict[int, int] = {}
+    for bucket, graph in sorted(graphs.items()):
+        split = graph_tensor_bytes(graph)
+        weights = max(weights, split['weights'])
+        workspace = max(workspace, split['workspace'])
+        activations[int(bucket)] = split['activations']
+    return ModelFootprint(name=name, weights_bytes=weights,
+                          workspace_bytes=workspace,
+                          activation_bytes=activations)
+
+
+class MemoryModel:
+    """Committed-bytes ledger for one replica's DRAM.
+
+    Reservations are keyed by model name and *accumulate*: registering a
+    model commits its initial footprint, growing its bucket ladder commits
+    the incremental activation bytes under the same key, and
+    :meth:`release` returns the whole reservation at eviction.  The peak
+    watermark is monotone and survives releases — it is what capacity
+    planning reads.
+    """
+
+    def __init__(self, capacity_bytes: int, label: str = '') -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f'capacity_bytes must be positive, '
+                             f'got {capacity_bytes}')
+        self.capacity_bytes = int(capacity_bytes)
+        self.label = label
+        self._reservations: Dict[str, int] = {}
+        self._peak = 0
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def committed_bytes(self) -> int:
+        return sum(self._reservations.values())
+
+    @property
+    def peak_committed_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.committed_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.committed_bytes / self.capacity_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def reserved(self, key: str) -> int:
+        """Bytes currently committed under ``key`` (0 when absent)."""
+        return self._reservations.get(key, 0)
+
+    def reservations(self) -> Dict[str, int]:
+        return dict(self._reservations)
+
+    # -- mutations --------------------------------------------------------
+    def commit(self, key: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` more under ``key``; loud on overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f'cannot commit negative bytes ({nbytes})')
+        if not self.fits(nbytes):
+            raise MemoryOverflowError(
+                self.label, key, nbytes, self.capacity_bytes,
+                self.committed_bytes)
+        self._reservations[key] = self._reservations.get(key, 0) + nbytes
+        self._peak = max(self._peak, self.committed_bytes)
+
+    def release(self, key: str) -> int:
+        """Drop the whole reservation for ``key``; returns the bytes freed."""
+        return self._reservations.pop(key, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f'MemoryModel({self.label or "?"}: '
+                f'{format_bytes(self.committed_bytes)}'
+                f'/{format_bytes(self.capacity_bytes)} committed, '
+                f'peak {format_bytes(self._peak)})')

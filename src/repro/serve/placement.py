@@ -40,11 +40,12 @@ from __future__ import annotations
 from typing import Callable, Mapping, Optional, Sequence
 
 from ._registry import FactoryRegistry
+from .memory import MemoryOverflowError
 from .trace import Request
 
 __all__ = ['PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
-           'ModelAffinePlacement', 'register_placement', 'make_placement',
-           'available_placements']
+           'ModelAffinePlacement', 'MemoryAwarePolicy', 'register_placement',
+           'make_placement', 'available_placements']
 
 
 class PlacementPolicy:
@@ -63,21 +64,53 @@ class PlacementPolicy:
     def reset(self) -> None:
         """Clear per-run state (cursors); called before every simulation."""
 
-    def partition(self, model_names: Sequence[str],
-                  num_replicas: int) -> dict[str, tuple[int, ...]]:
+    def partition(self, model_names: Sequence[str], num_replicas: int, *,
+                  footprints: Optional[Mapping[str, int]] = None,
+                  capacities: Optional[Sequence[int]] = None,
+                  ) -> dict[str, tuple[int, ...]]:
         """Build-time hosting map: model name -> replica indices hosting it.
 
         Args:
             model_names: every registered model, in registration order.
             num_replicas: the fleet's initial replica count; valid indices
                 are ``0 .. num_replicas - 1``.
+            footprints: model name -> DRAM bytes its reservation will
+                commit, when the fleet accounts memory (keyword-only so
+                subclasses overriding only the positional part keep working).
+            capacities: per-replica DRAM capacity in bytes.
 
         Returns a mapping that covers every name in ``model_names`` with a
         non-empty tuple of valid indices (the fleet validates both).  The
-        default hosts every model on every replica.
+        default hosts every model on every replica; with memory information
+        it hosts every model *everywhere it fits* — a coverage pass places
+        each model once on the emptiest fitting replica (raising
+        :class:`~repro.serve.memory.MemoryOverflowError` when a model fits
+        nowhere), then a spread pass duplicates models wherever room
+        remains, so abundant DRAM reproduces host-everywhere exactly.
         """
         everywhere = tuple(range(num_replicas))
-        return {name: everywhere for name in model_names}
+        if footprints is None or capacities is None:
+            return {name: everywhere for name in model_names}
+        free = [int(c) for c in capacities]
+        hosting: dict[str, list[int]] = {name: [] for name in model_names}
+        for name in model_names:            # coverage: one home per model
+            need = footprints[name]
+            fits = [r for r in range(num_replicas) if free[r] >= need]
+            if not fits:
+                raise MemoryOverflowError(
+                    'fleet partition', name, need,
+                    max(capacities, default=0),
+                    max(capacities, default=0) - max(free, default=0))
+            target = max(fits, key=lambda r: (free[r], -r))
+            hosting[name].append(target)
+            free[target] -= need
+        for name in model_names:            # spread: duplicate where room remains
+            need = footprints[name]
+            for r in range(num_replicas):
+                if r not in hosting[name] and free[r] >= need:
+                    hosting[name].append(r)
+                    free[r] -= need
+        return {name: tuple(sorted(hosts)) for name, hosts in hosting.items()}
 
     def choose(self, request: Request, hosts: Sequence[int], fleet,
                now: float) -> int:
@@ -99,7 +132,9 @@ class PlacementPolicy:
         raise NotImplementedError
 
     def rehome(self, model: str, serving: Sequence[int],
-               hosting: Sequence[int]) -> int:
+               hosting: Sequence[int], *,
+               free_bytes: Optional[Mapping[int, int]] = None,
+               need_bytes: Optional[int] = None) -> Optional[int]:
         """Pick the replica that re-hosts ``model`` after its hosts died.
 
         Called by the fleet simulator when every replica hosting ``model``
@@ -113,29 +148,65 @@ class PlacementPolicy:
                 never empty (with no live replica at all, the fleet counts
                 the work as lost instead of calling this).
             hosting: the (dead) indices that hosted ``model`` so far.
+            free_bytes: replica index -> free DRAM bytes, when the fleet
+                accounts memory.  Capacity-checked policies must only
+                answer with a replica the model fits on.
+            need_bytes: the orphan's reservation in bytes.
 
-        The default picks the lowest serving index not already in
-        ``hosting``, falling back to the lowest serving index — subclasses
-        refine it (model-affine answers with its failover home group).
+        Returns the chosen replica index, or ``None`` when no serving
+        replica can fit the model (the fleet then either evicts to make
+        room — policies with ``evict_on_overflow`` — or rejects the work).
+
+        The default picks the lowest *fitting* serving index not already in
+        ``hosting``, falling back to the lowest fitting serving index —
+        subclasses refine it (model-affine answers with its failover home
+        group).
         """
-        fresh = [r for r in serving if r not in hosting]
-        return min(fresh) if fresh else min(serving)
+        fitting = self._fitting(serving, free_bytes, need_bytes)
+        if not fitting:
+            return None
+        fresh = [r for r in fitting if r not in hosting]
+        return min(fresh) if fresh else min(fitting)
+
+    @staticmethod
+    def _fitting(candidates: Sequence[int],
+                 free_bytes: Optional[Mapping[int, int]],
+                 need_bytes: Optional[int]) -> list[int]:
+        """Filter ``candidates`` to those with room for ``need_bytes``
+        (all of them when the fleet passed no memory information)."""
+        if free_bytes is None or need_bytes is None:
+            return list(candidates)
+        return [r for r in candidates
+                if free_bytes.get(r, 0) >= need_bytes]
 
     def models_for_join(self, model_names: Sequence[str], replica: int,
-                        active_host_counts: Mapping[str, int]) -> list[str]:
+                        active_host_counts: Mapping[str, int], *,
+                        footprints: Optional[Mapping[str, int]] = None,
+                        capacity: Optional[int] = None) -> list[str]:
         """Which models a replica joining mid-run should host.
 
         Called by :meth:`Fleet.add_replica` for autoscaler scale-ups (an
         explicit ``models=`` argument overrides it).  ``replica`` is the
         joining index, ``active_host_counts`` maps each model to its
-        current number of *serving* hosts.
+        current number of *serving* hosts; ``footprints``/``capacity``
+        carry the models' reservations and the join's DRAM when the fleet
+        accounts memory.
 
-        The default hosts everything — the join can absorb load from any
-        model, which is right for the host-everywhere policies.  Affinity
-        policies override it to keep per-replica model sets (and so cache
-        working sets) narrow.
+        The default hosts everything that fits (greedily, in registration
+        order) — the join can absorb load from any model, which is right
+        for the host-everywhere policies.  Affinity policies override it to
+        keep per-replica model sets (and so cache working sets) narrow.
         """
-        return list(model_names)
+        if footprints is None or capacity is None:
+            return list(model_names)
+        chosen: list[str] = []
+        free = int(capacity)
+        for name in model_names:
+            need = footprints[name]
+            if need <= free:
+                chosen.append(name)
+                free -= need
+        return chosen
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -220,8 +291,10 @@ class ModelAffinePlacement(PlacementPolicy):
     def reset(self) -> None:
         self._cursors.clear()
 
-    def partition(self, model_names: Sequence[str],
-                  num_replicas: int) -> dict[str, tuple[int, ...]]:
+    def partition(self, model_names: Sequence[str], num_replicas: int, *,
+                  footprints: Optional[Mapping[str, int]] = None,
+                  capacities: Optional[Sequence[int]] = None,
+                  ) -> dict[str, tuple[int, ...]]:
         if self.assignment is not None:
             missing = [m for m in model_names if m not in self.assignment]
             if missing:
@@ -248,6 +321,18 @@ class ModelAffinePlacement(PlacementPolicy):
                     width = base + (1 if k < extra else 0)
                     hosting[name] = tuple(range(start, start + width))
                     start += width
+        if footprints is not None and capacities is not None:
+            # affinity groups are a semantic contract, so an over-capacity
+            # group fails loudly instead of being silently trimmed
+            committed = [0] * num_replicas
+            for name in model_names:
+                for r in hosting[name]:
+                    committed[r] += footprints[name]
+                    if committed[r] > capacities[r]:
+                        raise MemoryOverflowError(
+                            f'replica {r}', name, footprints[name],
+                            capacities[r],
+                            committed[r] - footprints[name])
         self._failover = self._failover_groups(list(model_names), hosting,
                                                num_replicas)
         return hosting
@@ -277,27 +362,40 @@ class ModelAffinePlacement(PlacementPolicy):
         return failover
 
     def rehome(self, model: str, serving: Sequence[int],
-               hosting: Sequence[int]) -> int:
-        """First serving replica of the model's failover home group; when
-        the whole failover group is down too, fall back to the default
-        lowest-serving-index rule."""
+               hosting: Sequence[int], *,
+               free_bytes: Optional[Mapping[int, int]] = None,
+               need_bytes: Optional[int] = None) -> Optional[int]:
+        """First serving replica of the model's failover home group that
+        has room; when the whole failover group is down (or full) too,
+        fall back to the default lowest-fitting-serving-index rule."""
         group = self._failover.get(model, ())
-        candidates = [r for r in group if r in serving]
+        candidates = self._fitting([r for r in group if r in serving],
+                                   free_bytes, need_bytes)
         if candidates:
             return candidates[0]
-        return super().rehome(model, serving, hosting)
+        return super().rehome(model, serving, hosting,
+                              free_bytes=free_bytes, need_bytes=need_bytes)
 
     def models_for_join(self, model_names: Sequence[str], replica: int,
-                        active_host_counts: Mapping[str, int]) -> list[str]:
+                        active_host_counts: Mapping[str, int], *,
+                        footprints: Optional[Mapping[str, int]] = None,
+                        capacity: Optional[int] = None) -> list[str]:
         """Preserve affinity on scale-up: host only the *thinnest* model.
 
         A joining replica takes the model with the fewest serving hosts
         (ties break in registration order) instead of everything — the
         whole point of affine placement is that each replica compiles and
         caches one narrow model set, and scale-up must not dilute it.
+        With memory information, the thinnest model that *fits* the join's
+        DRAM wins (an empty answer means the join hosts nothing).
         """
         if not model_names:
             return []
+        if footprints is not None and capacity is not None:
+            model_names = [m for m in model_names
+                           if footprints[m] <= capacity]
+            if not model_names:
+                return []
         order = {name: k for k, name in enumerate(model_names)}
         thinnest = min(model_names,
                        key=lambda m: (active_host_counts.get(m, 0), order[m]))
@@ -311,6 +409,104 @@ class ModelAffinePlacement(PlacementPolicy):
         cursor = self._cursors.get(request.model, 0)
         self._cursors[request.model] = cursor + 1
         return hosts[cursor % len(hosts)]
+
+
+class MemoryAwarePolicy(PlacementPolicy):
+    """Pack models onto the *fewest* replicas that DRAM allows.
+
+    Where the host-everywhere policies trade memory for routing freedom,
+    this policy treats replicas as bins: models are placed first-fit-
+    decreasing by footprint (largest first, ties in registration order),
+    preferring bins that already host something, so the fleet serves the
+    same model set on as few replicas as capacity permits.  Replicas left
+    empty cost nothing to keep warm and double as failover headroom — the
+    packing experiment in :mod:`repro.experiments.fleet` measures exactly
+    this against memory-blind least-loaded spreading.
+
+    Requests route least-loaded *within* a model's (usually single) host.
+    On re-homing the policy answers with the fitting survivor that has the
+    most free DRAM, and sets :attr:`evict_on_overflow`: when no survivor
+    fits, the fleet may evict redundantly-hosted, idle models to make room
+    instead of dropping the orphan's traffic.
+    """
+
+    name = 'memory_aware'
+    #: the fleet may evict redundant idle models to make an orphan fit
+    evict_on_overflow = True
+
+    def partition(self, model_names: Sequence[str], num_replicas: int, *,
+                  footprints: Optional[Mapping[str, int]] = None,
+                  capacities: Optional[Sequence[int]] = None,
+                  ) -> dict[str, tuple[int, ...]]:
+        """First-fit-decreasing bin packing; one home replica per model.
+
+        Without memory information there is nothing to pack against, so
+        the policy degrades to host-everywhere (the base default).
+        """
+        if footprints is None or capacities is None:
+            return super().partition(model_names, num_replicas)
+        order = {name: k for k, name in enumerate(model_names)}
+        by_size = sorted(model_names,
+                         key=lambda m: (-footprints[m], order[m]))
+        free = [int(c) for c in capacities]
+        used = [False] * num_replicas
+        hosting: dict[str, tuple[int, ...]] = {}
+        for name in by_size:
+            need = footprints[name]
+            target = next((r for r in range(num_replicas)
+                           if used[r] and free[r] >= need), None)
+            if target is None:
+                target = next((r for r in range(num_replicas)
+                               if free[r] >= need), None)
+            if target is None:
+                raise MemoryOverflowError(
+                    'fleet partition', name, need,
+                    max(capacities, default=0),
+                    max(capacities, default=0) - max(free, default=0))
+            used[target] = True
+            free[target] -= need
+            hosting[name] = (target,)
+        return {name: hosting[name] for name in model_names}
+
+    def choose(self, request: Request, hosts: Sequence[int], fleet,
+               now: float) -> int:
+        """Least-loaded among the model's hosts (usually a single one)."""
+        return min(hosts, key=lambda r: (fleet.backlog_seconds(r, now),
+                                         fleet.queued_samples(r), r))
+
+    def rehome(self, model: str, serving: Sequence[int],
+               hosting: Sequence[int], *,
+               free_bytes: Optional[Mapping[int, int]] = None,
+               need_bytes: Optional[int] = None) -> Optional[int]:
+        """Fitting survivor with the most free DRAM (ties: lowest index);
+        ``None`` — triggering the fleet's eviction path — when nothing
+        fits."""
+        fitting = self._fitting(serving, free_bytes, need_bytes)
+        if not fitting:
+            return None
+        if free_bytes is None:
+            return min(fitting)
+        return max(fitting, key=lambda r: (free_bytes.get(r, 0), -r))
+
+    def models_for_join(self, model_names: Sequence[str], replica: int,
+                        active_host_counts: Mapping[str, int], *,
+                        footprints: Optional[Mapping[str, int]] = None,
+                        capacity: Optional[int] = None) -> list[str]:
+        """Thinnest-hosted models first, greedily while they fit — a join
+        relieves the most concentrated hot spots without overcommitting."""
+        order = {name: k for k, name in enumerate(model_names)}
+        ranked = sorted(model_names,
+                        key=lambda m: (active_host_counts.get(m, 0),
+                                       order[m]))
+        if footprints is None or capacity is None:
+            return ranked
+        chosen: list[str] = []
+        free = int(capacity)
+        for name in ranked:
+            if footprints[name] <= free:
+                chosen.append(name)
+                free -= footprints[name]
+        return chosen
 
 
 # ---------------------------------------------------------------------------
@@ -352,3 +548,4 @@ def make_placement(name: str, **options) -> PlacementPolicy:
 register_placement('round_robin', RoundRobinPlacement)
 register_placement('least_loaded', LeastLoadedPlacement)
 register_placement('model_affine', ModelAffinePlacement)
+register_placement('memory_aware', MemoryAwarePolicy)

@@ -18,7 +18,7 @@ Three properties make the ladder cheap:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence
 
 from ..graph.flow_graph import FlowGraph
@@ -28,6 +28,8 @@ from ..runtime.cache import ScheduleCache
 from ..runtime.compiled import CompiledGraph
 from ..runtime.executor import HidetExecutor
 from .batcher import smallest_covering_bucket
+from .memory import MemoryModel, ModelFootprint, footprint_from_graphs, \
+    graph_tensor_bytes
 
 __all__ = ['ModelRegistry', 'RegisteredModel', 'bucket_ladder']
 
@@ -61,6 +63,11 @@ class RegisteredModel:
     buckets: dict[int, CompiledGraph]          # bucket size -> compiled graph
     #: simulated tuning seconds charged while compiling the ladder
     compile_seconds: float
+    #: DRAM bytes this model has committed on its registry's device
+    reserved_bytes: int = 0
+    #: measured per-bucket footprint (None when memory accounting is off or
+    #: the reservation was declared up front)
+    footprint: Optional[ModelFootprint] = None
 
     @property
     def bucket_sizes(self) -> tuple[int, ...]:
@@ -121,6 +128,14 @@ class ModelRegistry:
             launch-compatible foreign record after validating it against
             ``device`` and re-measuring locally; off by default, enabled by
             fleets warming replicas from a foreign cache.
+        memory: optional :class:`~repro.serve.memory.MemoryModel` tracking
+            this registry's DRAM.  When set, every registration commits its
+            footprint (measured from the graphs, or declared via
+            ``reserve_bytes``), growing a ladder commits the incremental
+            activation bytes, and :meth:`evict` releases them; an
+            over-capacity registration raises
+            :class:`~repro.serve.memory.MemoryOverflowError` before any
+            tuning seconds are charged.
 
     All times the registry reports (``compile_seconds``,
     ``total_compile_seconds``) are simulated tuning **seconds** from the
@@ -133,8 +148,11 @@ class ModelRegistry:
                  cache_path: Optional[str] = None,
                  max_cache_entries: Optional[int] = None,
                  enable_transfer: bool = True,
-                 enable_device_transfer: bool = False):
+                 enable_device_transfer: bool = False,
+                 memory: Optional[MemoryModel] = None):
         self.device = device
+        self.memory = memory
+        self._evicted_compile_seconds = 0.0
         if cache is not None and max_cache_entries is not None:
             raise ValueError('pass either an explicit cache or '
                              'max_cache_entries, not both (a cap is only '
@@ -161,13 +179,21 @@ class ModelRegistry:
 
     def register(self, name: str, builder: Optional[GraphBuilder] = None,
                  max_batch: int = 8,
-                 buckets: Optional[Sequence[int]] = None) -> RegisteredModel:
+                 buckets: Optional[Sequence[int]] = None,
+                 reserve_bytes: Optional[int] = None) -> RegisteredModel:
         """Register ``name`` and pre-compile its batch-bucket ladder.
 
         ``builder(b)`` must rebuild the model's flow graph at batch size
         ``b``; when omitted, the zoo model of that name is used (see
         :func:`repro.models.for_batch`).  ``buckets`` overrides the default
         power-of-two ladder up to ``max_batch``.
+
+        With memory accounting on, the model's DRAM footprint is committed
+        *before* compilation: either the declared ``reserve_bytes`` or a
+        measurement of the ladder's graphs (weights + workspace + per-bucket
+        activations).  An over-capacity model raises
+        :class:`~repro.serve.memory.MemoryOverflowError` without charging
+        tuning seconds.
         """
         if name in self.models:
             raise ValueError(f'model {name!r} is already registered')
@@ -175,12 +201,33 @@ class ModelRegistry:
             from ..models import for_batch
             builder = lambda b: for_batch(name, b)   # noqa: E731
         ladder = tuple(sorted(set(buckets))) if buckets else bucket_ladder(max_batch)
+        footprint: Optional[ModelFootprint] = None
+        reserved = 0
+        compile_builder = builder
+        if self.memory is not None:
+            if reserve_bytes is None:
+                # build the ladder's graphs once: measure them here, then
+                # hand the same objects to the compiler
+                graphs = {b: builder(b) for b in ladder}
+                footprint = footprint_from_graphs(name, graphs)
+                reserved = footprint.bytes_for(ladder)
+                compile_builder = lambda b: (           # noqa: E731
+                    graphs[b] if b in graphs else builder(b))
+            else:
+                reserved = int(reserve_bytes)
+            self.memory.commit(name, reserved)
         start = self.clock.elapsed_seconds
-        compiled = self.executor.compile_for_batches(
-            builder, ladder, name=name, namespace=name)
+        try:
+            compiled = self.executor.compile_for_batches(
+                compile_builder, ladder, name=name, namespace=name)
+        except Exception:
+            if self.memory is not None:
+                self.memory.release(name)
+            raise
         model = RegisteredModel(
             name=name, builder=builder, buckets=compiled,
-            compile_seconds=self.clock.elapsed_seconds - start)
+            compile_seconds=self.clock.elapsed_seconds - start,
+            reserved_bytes=reserved, footprint=footprint)
         self.models[name] = model
         if self.cache_path is not None:
             self.save_cache()
@@ -197,15 +244,48 @@ class ModelRegistry:
             raise ValueError(f'batch bucket must be >= 1, got {bucket}')
         if bucket in model.buckets:
             return model.buckets[bucket]
+        graph = model.builder(bucket)
+        extra = 0
+        if self.memory is not None:
+            # a new bucket costs its activations; weights and workspace are
+            # already resident from the initial registration
+            extra = graph_tensor_bytes(graph)['activations']
+            if not self.memory.fits(extra):
+                raise MemoryOverflowError(
+                    self.memory.label, f'{name}@b{bucket}', extra,
+                    self.memory.capacity_bytes, self.memory.committed_bytes)
         start = self.clock.elapsed_seconds
-        compiled = self.executor.compile(model.builder(bucket),
+        compiled = self.executor.compile(graph,
                                          name=f'{name}_b{bucket}',
                                          namespace=name)
+        if self.memory is not None:
+            self.memory.commit(name, extra)
+            model.reserved_bytes += extra
+            if model.footprint is not None:
+                acts = dict(model.footprint.activation_bytes)
+                acts[bucket] = extra
+                model.footprint = replace(model.footprint,
+                                          activation_bytes=acts)
         model.buckets[bucket] = compiled
         model.compile_seconds += self.clock.elapsed_seconds - start
         if self.cache_path is not None:
             self.save_cache()
         return compiled
+
+    def evict(self, name: str) -> int:
+        """Unregister ``name`` and release its DRAM reservation.
+
+        Returns the bytes freed (0 with memory accounting off).  The evicted
+        model's tuning bill stays on the books —
+        :attr:`total_compile_seconds` is a monotone cold-start cost, not a
+        census of currently resident models.
+        """
+        model = self[name]
+        del self.models[name]
+        self._evicted_compile_seconds += model.compile_seconds
+        if self.memory is not None:
+            return self.memory.release(name)
+        return 0
 
     # -- lookup ------------------------------------------------------------
 
@@ -226,8 +306,13 @@ class ModelRegistry:
 
     @property
     def total_compile_seconds(self) -> float:
-        """Simulated tuning seconds across every registration (cold-start)."""
-        return sum(m.compile_seconds for m in self.models.values())
+        """Simulated tuning seconds across every registration (cold-start).
+
+        Includes evicted models: tuning seconds already spent do not come
+        back when a model is dropped to free DRAM.
+        """
+        return (sum(m.compile_seconds for m in self.models.values())
+                + self._evicted_compile_seconds)
 
     def stats(self) -> dict:
         return {

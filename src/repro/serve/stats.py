@@ -13,6 +13,8 @@ from typing import Optional
 
 import numpy as np
 
+from .memory import format_bytes as _fmt_bytes
+
 __all__ = ['ServeStats', 'compute_stats', 'format_serving_report']
 
 
@@ -75,6 +77,20 @@ class ServeStats:
     #: simulated tuning seconds paid by replicas that *joined* mid-run
     #: (split from ``cold_start_seconds``, which is the pre-trace bill)
     scale_up_tuning_seconds: float = 0.0
+    #: replica label -> high-water mark of committed DRAM bytes over the
+    #: run (empty for single-GPU runs without memory accounting)
+    peak_memory_bytes: dict[str, int] = field(default_factory=dict)
+    #: replica label -> DRAM capacity in bytes (pairs with the peaks above)
+    memory_capacity_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def peak_memory_utilization(self) -> float:
+        """Worst committed-DRAM fraction across replicas (0.0 without
+        memory accounting)."""
+        fractions = [self.peak_memory_bytes.get(label, 0) / capacity
+                     for label, capacity in self.memory_capacity_bytes.items()
+                     if capacity > 0]
+        return max(fractions, default=0.0)
 
     @property
     def offered_requests(self) -> int:
@@ -122,7 +138,9 @@ def compute_stats(completions, batches, registry=None,
                   cold_start_seconds: Optional[float] = None,
                   rejected=(), lost=(), num_requeued: int = 0,
                   replica_seconds: float = 0.0,
-                  scale_up_tuning_seconds: float = 0.0) -> ServeStats:
+                  scale_up_tuning_seconds: float = 0.0,
+                  peak_memory_bytes: Optional[dict] = None,
+                  memory_capacity_bytes: Optional[dict] = None) -> ServeStats:
     """Fold completion records and dispatches into a :class:`ServeStats`.
 
     ``completions`` are the simulator's per-request records (``request``,
@@ -170,6 +188,8 @@ def compute_stats(completions, batches, registry=None,
         num_requeued=num_requeued,
         replica_seconds=replica_seconds,
         scale_up_tuning_seconds=scale_up_tuning_seconds,
+        peak_memory_bytes=dict(peak_memory_bytes or {}),
+        memory_capacity_bytes=dict(memory_capacity_bytes or {}),
     )
 
     if not completions:
@@ -252,4 +272,11 @@ def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
             f'  capacity: {stats.replica_seconds:.2f} replica-seconds'
             + (f', scale-up tuning {stats.scale_up_tuning_seconds:.1f} s'
                if stats.scale_up_tuning_seconds else ''))
+    if stats.memory_capacity_bytes:
+        total_peak = sum(stats.peak_memory_bytes.values())
+        total_cap = sum(stats.memory_capacity_bytes.values())
+        lines.append(
+            f'  memory: peak {_fmt_bytes(total_peak)} of '
+            f'{_fmt_bytes(total_cap)} fleet DRAM committed '
+            f'(worst replica {stats.peak_memory_utilization * 100:.0f}%)')
     return '\n'.join(lines)

@@ -89,6 +89,17 @@ def test_bench_serving_fleet_smoke_budget():
         assert token in text
 
 
+def test_bench_serving_packing_smoke_budget():
+    """The --smoke --packing acceptance: memory-aware placement must serve
+    the same p99 SLO on strictly fewer replicas than memory-blind
+    least-loaded, the seeded failover must re-home orphans without
+    overflowing any survivor's DRAM, and the run must finish in <10s."""
+    text = _run_budgeted('bench_serving', 'packing_smoke')
+    for token in ('Memory-aware packing', 'MEETS SLO', 'packing saves',
+                  're-homes', 'survivors within DRAM: yes'):
+        assert token in text
+
+
 def test_bench_serving_lifecycle_smoke_budget():
     """The --smoke --lifecycle acceptance: the reduced lifecycle
     experiments must pass their claims (autoscaled diurnal run meets the

@@ -1,0 +1,80 @@
+"""Error-path coverage of the shared string-keyed FactoryRegistry.
+
+The placement and autoscale registries (and any third-party one) share
+these mechanics; the public ``register_* / make_*`` wrappers only cover
+the happy path, so the contract — loud unknown-name errors, conflict
+detection on re-registration, option forwarding — is pinned here.
+"""
+import pytest
+
+from repro.serve._registry import FactoryRegistry
+
+
+@pytest.fixture
+def registry():
+    return FactoryRegistry(kind='widget', hint='register_widget()')
+
+
+class _Widget:
+    def __init__(self, size=1, color='red'):
+        self.size = size
+        self.color = color
+
+
+def test_make_unknown_name_names_kind_and_hint(registry):
+    registry.register('a', _Widget)
+    with pytest.raises(ValueError) as err:
+        registry.make('nope')
+    # the error must identify what was asked, what exists, and how to add
+    msg = str(err.value)
+    assert "widget 'nope'" in msg
+    assert "['a']" in msg
+    assert 'register_widget()' in msg
+
+
+def test_register_non_callable_raises(registry):
+    with pytest.raises(TypeError):
+        registry.register('a', 42)
+    assert 'a' not in registry
+
+
+def test_same_factory_reregistration_is_a_noop(registry):
+    registry.register('a', _Widget)
+    registry.register('a', _Widget)          # idempotent, no error
+    assert registry.available() == ['a']
+
+
+def test_conflicting_reregistration_raises(registry):
+    registry.register('a', _Widget)
+    with pytest.raises(ValueError, match='already registered'):
+        registry.register('a', lambda: _Widget())
+    # the original factory survives the failed attempt
+    assert isinstance(registry.make('a'), _Widget)
+
+
+def test_options_forward_to_the_factory(registry):
+    registry.register('a', _Widget)
+    widget = registry.make('a', size=3, color='blue')
+    assert (widget.size, widget.color) == (3, 'blue')
+
+
+def test_make_returns_fresh_instances(registry):
+    registry.register('a', _Widget)
+    assert registry.make('a') is not registry.make('a')
+
+
+def test_contains_and_available(registry):
+    assert 'a' not in registry
+    registry.register('b', _Widget)
+    registry.register('a', _Widget)
+    assert 'a' in registry and 'b' in registry
+    assert registry.available() == ['a', 'b']    # sorted
+
+
+def test_public_registries_reject_unknown_names():
+    # the wrappers route through the same mechanics; spot-check both
+    from repro.serve import make_placement, make_autoscale_policy
+    with pytest.raises(ValueError, match='unknown placement'):
+        make_placement('no_such_policy')
+    with pytest.raises(ValueError, match='unknown autoscale'):
+        make_autoscale_policy('no_such_policy')
