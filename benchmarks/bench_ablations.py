@@ -1,10 +1,11 @@
 """Ablation benches for the design choices DESIGN.md calls out:
 double buffering, parallel-k, post-scheduling fusion, schedule-space design.
 """
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments.ablations import (double_buffer_ablation, fusion_ablation,
                                          space_ablation, split_k_ablation)
 from repro.models import resnet50
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -13,6 +14,10 @@ def smoke() -> str:
     sk = split_k_ablation()
     assert db.speedup > 1.2
     assert sk.speedup > 1.2
+    bench = BenchResult(area='ablations', mode='smoke')
+    bench.add('double_buffer_speedup', db.speedup, unit='x', direction='higher')
+    bench.add('split_k_speedup', sk.speedup, unit='x', direction='higher')
+    write_bench(bench)
     return (f'double buffering: {db.baseline_ms:.3f} -> {db.variant_ms:.3f} ms '
             f'({db.speedup:.2f}x)\n'
             f'parallel-k: {sk.baseline_ms * 1e3:.1f} -> {sk.variant_ms * 1e3:.1f} us '

@@ -1,8 +1,9 @@
 """Figure 7: input-centric schedule-space sizes for ResNet-50 convolutions."""
 import numpy as np
 
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_space_sizes, run_space_sizes
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -10,6 +11,13 @@ def smoke() -> str:
     rows = run_space_sizes()
     per_layer = [r.autotvm_size for r in rows for _ in range(r.workload.count)]
     assert len(per_layer) == 53
+    bench = BenchResult(area='space_sizes', mode='smoke')
+    bench.add('autotvm_geomean_space_size',
+              float(np.exp(np.mean(np.log(per_layer)))), unit='schedules',
+              direction='info')
+    bench.add('autotvm_max_space_size', float(max(per_layer)),
+              unit='schedules', direction='info')
+    write_bench(bench)
     return format_space_sizes(rows)
 
 

@@ -1,13 +1,20 @@
 """Figure 16: end-to-end latency, 5 models × 5 executors."""
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_end_to_end, run_end_to_end
 from repro.experiments.common import geomean
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
     """One model (ResNet-50) across all five executors."""
     rows = run_end_to_end(models=['resnet50'])
     assert rows[0].speedup_vs_best_baseline > 1.0
+    bench = BenchResult(area='end_to_end', mode='smoke')
+    bench.add('resnet50.hidet_latency_ms', rows[0].latencies_ms['hidet'],
+              unit='ms')
+    bench.add('resnet50.speedup_vs_best_baseline',
+              rows[0].speedup_vs_best_baseline, unit='x', direction='higher')
+    write_bench(bench)
     return format_end_to_end(rows)
 
 

@@ -1,19 +1,58 @@
-"""Figure 17: tuning cost of AutoTVM, Ansor and Hidet — plus cache reuse."""
-from common import write_result
+"""Figure 17: tuning cost of AutoTVM, Ansor and Hidet — plus cache reuse.
+
+Also runnable as a script: ``python bench_fig17_tuning_cost.py --smoke``
+runs the reduced comparison and writes the machine-readable
+``BENCH_tuning.json`` (``--bench-out`` overrides the path); the committed
+repo-root copy is the baseline ``python -m repro.obs.compare`` gates
+against in CI.
+"""
+import argparse
+import pathlib
+
+from common import wall_clock, write_bench, write_result
 from repro.experiments import (format_cache_reuse, format_tuning_cost,
                                run_cache_reuse, run_tuning_cost)
 from repro.experiments.tuning_cost import speedups
+from repro.obs import BenchResult
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def smoke() -> str:
+def _tuning_bench(hours, reuse, wall_seconds: float) -> BenchResult:
+    """Fold the smoke run into the machine-readable tuning record.
+
+    ``warm_compile_seconds`` is zero in the committed baseline — the
+    cache-reuse claim — so any nonzero value fails the gate outright.
+    """
+    result = BenchResult(area='tuning', mode='smoke')
+    result.add('resnet50.hidet_tuning_hours', hours['hidet'], unit='h')
+    result.add('resnet50.autotvm_over_hidet',
+               hours['autotvm'] / hours['hidet'], unit='x',
+               direction='higher')
+    result.add('resnet50.ansor_over_hidet',
+               hours['ansor'] / hours['hidet'], unit='x', direction='higher')
+    result.add('resnet50.cold_compile_seconds', reuse.cold_seconds, unit='s')
+    result.add('resnet50.warm_compile_seconds', reuse.warm_seconds, unit='s')
+    result.add('resnet50.warm_cache_misses', float(reuse.warm_misses),
+               unit='count')
+    result.add('harness_wall_seconds', wall_seconds, unit='s',
+               direction='info')
+    return result
+
+
+def smoke(bench_out: str = None) -> str:
     """One model: tuning-cost comparison plus the cold/warm cache round-trip."""
-    cost_rows = run_tuning_cost(models=['resnet50'])
-    hours = cost_rows[0].hours
-    assert hours['hidet'] < hours['autotvm']
-    reuse_rows = run_cache_reuse(models=['resnet50'])
-    assert reuse_rows[0].warm_seconds == 0.0
-    assert abs(reuse_rows[0].warm_latency_ms - reuse_rows[0].cold_latency_ms) < 1e-9
-    return format_tuning_cost(cost_rows) + '\n\n' + format_cache_reuse(reuse_rows)
+    with wall_clock() as wc:
+        cost_rows = run_tuning_cost(models=['resnet50'])
+        hours = cost_rows[0].hours
+        assert hours['hidet'] < hours['autotvm']
+        reuse_rows = run_cache_reuse(models=['resnet50'])
+        assert reuse_rows[0].warm_seconds == 0.0
+        assert abs(reuse_rows[0].warm_latency_ms - reuse_rows[0].cold_latency_ms) < 1e-9
+    path = write_bench(_tuning_bench(hours, reuse_rows[0], wc.seconds),
+                       bench_out)
+    return (format_tuning_cost(cost_rows) + '\n\n'
+            + format_cache_reuse(reuse_rows) + f'\nbench json -> {path}')
 
 
 def bench_fig17_tuning_cost(benchmark):
@@ -42,3 +81,27 @@ def bench_fig17_cache_reuse(benchmark):
         assert row.warm_misses == 0
         assert abs(row.warm_latency_ms - row.cold_latency_ms) < 1e-9
     write_result('fig17_cache_reuse', format_cache_reuse(rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--smoke', action='store_true',
+                        help='one-model comparison plus cache round-trip')
+    parser.add_argument('--bench-out', default=None, metavar='PATH',
+                        help='where --smoke writes BENCH_tuning.json '
+                             '(default: repo-root BENCH_tuning.json, the '
+                             'committed baseline location)')
+    args = parser.parse_args(argv)
+    if args.smoke:
+        bench_out = args.bench_out or str(REPO_ROOT / 'BENCH_tuning.json')
+        print(smoke(bench_out=bench_out))
+    else:
+        rows = run_tuning_cost()
+        write_result('fig17_tuning_cost', format_tuning_cost(rows))
+        reuse = run_cache_reuse()
+        write_result('fig17_cache_reuse', format_cache_reuse(reuse))
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

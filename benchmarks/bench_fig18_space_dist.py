@@ -1,8 +1,9 @@
 """Figure 18: schedule-latency distribution of the three schedule spaces."""
 import numpy as np
 
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_schedule_distribution, run_schedule_distribution
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -10,6 +11,12 @@ def smoke() -> str:
     result = run_schedule_distribution()
     summary = result.summary(threshold_us=73.0)
     assert summary['hidet_below'] > 0.5
+    bench = BenchResult(area='space_dist', mode='smoke')
+    bench.add('hidet_frac_below_73us', summary['hidet_below'],
+              direction='higher')
+    bench.add('hidet_median_latency_us',
+              float(np.median(result.hidet_latencies_us)), unit='us')
+    write_bench(bench)
     return format_schedule_distribution(result)
 
 

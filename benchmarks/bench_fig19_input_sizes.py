@@ -2,8 +2,9 @@
 input-centric tuners while Hidet stays flat."""
 import math
 
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_input_sensitivity, run_input_sensitivity
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -12,6 +13,11 @@ def smoke() -> str:
     by_size = {r.size: r for r in rows}
     assert math.isfinite(by_size[1031].hidet_ms)
     assert not math.isfinite(by_size[1031].autotvm_ms)
+    bench = BenchResult(area='input_sizes', mode='smoke')
+    bench.add('hidet_1024_ms', by_size[1024].hidet_ms, unit='ms')
+    bench.add('hidet_prime_over_friendly',
+              by_size[1031].hidet_ms / by_size[1024].hidet_ms, unit='x')
+    write_bench(bench)
     return format_input_sensitivity(rows)
 
 

@@ -1,6 +1,7 @@
 """Figure 20: ResNet-50 across batch sizes 1/4/8."""
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_batch_sizes, run_batch_sizes
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -8,6 +9,11 @@ def smoke() -> str:
     rows = run_batch_sizes(batch_sizes=(1, 4))
     for row in rows:
         assert min(row.latencies_ms, key=row.latencies_ms.get) == 'hidet'
+    bench = BenchResult(area='batch_sizes', mode='smoke')
+    for row in rows:
+        bench.add(f'hidet_batch{row.batch_size}_ms',
+                  row.latencies_ms['hidet'], unit='ms')
+    write_bench(bench)
     return format_batch_sizes(rows)
 
 

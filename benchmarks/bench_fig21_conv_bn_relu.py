@@ -1,6 +1,7 @@
 """Figure 21: Conv2d-BN-ReLU sub-graphs of ResNet-50 across executors."""
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_conv_bn_relu, run_conv_bn_relu
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -8,6 +9,11 @@ def smoke() -> str:
     from repro.baselines.input_space import resnet50_conv_workloads
     rows = run_conv_bn_relu(workloads=resnet50_conv_workloads()[:6])
     assert sum(r.winner == 'hidet' for r in rows) >= len(rows) // 2
+    bench = BenchResult(area='conv_bn_relu', mode='smoke')
+    bench.add('hidet_win_fraction',
+              sum(r.winner == 'hidet' for r in rows) / len(rows),
+              direction='higher')
+    write_bench(bench)
     return format_conv_bn_relu(rows)
 
 

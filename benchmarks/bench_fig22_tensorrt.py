@@ -1,6 +1,7 @@
 """Figure 22: TensorRT vs Hidet on the five models."""
-from common import write_result
+from common import write_bench, write_result
 from repro.experiments import format_tensorrt_cmp, run_tensorrt_cmp
+from repro.obs import BenchResult
 
 
 def smoke() -> str:
@@ -9,6 +10,11 @@ def smoke() -> str:
     by_model = {r.model: r for r in rows}
     assert by_model['resnet50'].winner == 'hidet'
     assert by_model['bert'].winner == 'tensorrt'
+    bench = BenchResult(area='tensorrt', mode='smoke')
+    for row in rows:
+        bench.add(f'{row.model}.hidet_over_tensorrt',
+                  row.hidet_ms / row.tensorrt_ms, unit='x')
+    write_bench(bench)
     return format_tensorrt_cmp(rows)
 
 

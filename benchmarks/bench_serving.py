@@ -17,7 +17,11 @@ Also runnable as a script:
 — ``--smoke``
 replays a reduced trace over scaled-down model shapes, and combines with
 either fleet flag to run the reduced experiments; each path finishes in
-well under ten seconds.  Every smoke mode also validates the committed
+well under ten seconds.  ``--smoke`` also emits the machine-readable
+``BENCH_serving.json`` perf record (``--bench-out`` overrides the path,
+``--trace-out`` additionally exports a Perfetto-viewable Chrome trace of
+the dynamic run); ``python -m repro.obs.compare`` diffs two such records
+against their noise bands.  Every smoke mode also validates the committed
 ``examples/deployment_spec.json`` through the spec CLI
 (``python -m repro.serve.deployment --validate``), so the example spec and
 the validator cannot rot apart.
@@ -28,9 +32,10 @@ import pathlib
 import subprocess
 import sys
 
-from common import write_result
+from common import wall_clock, write_bench, write_result
 from repro.experiments.serving import (format_qps_sweep, format_serving,
                                        run_qps_sweep, run_serving)
+from repro.obs import BenchResult, Telemetry
 from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing,
                                      format_memory_packing, format_placement,
                                      run_device_transfer, run_fleet_sizing,
@@ -247,12 +252,71 @@ def bench_serving_lifecycle(benchmark):
     write_result('serving_lifecycle', text)
 
 
-def smoke() -> str:
-    """Reduced serving run (scaled-down models, 200-request trace)."""
+def _serving_bench(report, telemetry: Telemetry,
+                   wall_seconds: float) -> BenchResult:
+    """Fold one smoke run into the machine-readable serving record.
+
+    Latencies and warm-start costs gate with ``direction='lower'``,
+    throughput / occupancy / hit rate with ``'higher'``; harness wall-clock
+    is ``'info'`` (tracked, never gated).  The warm-restart seconds are
+    zero in the committed baseline, so *any* nonzero value regresses —
+    the strictest gate in the file, on purpose.
+    """
+    dyn = report.dynamic
+    result = BenchResult(area='serving', mode='smoke')
+    result.add('dynamic.latency_p50_ms', dyn.latency_p50_ms, unit='ms')
+    result.add('dynamic.latency_p99_ms', dyn.latency_p99_ms, unit='ms')
+    result.add('dynamic.throughput_rps', dyn.throughput_rps, unit='req/s',
+               direction='higher')
+    result.add('dynamic.mean_occupancy', dyn.mean_occupancy,
+               direction='higher')
+    result.add('dynamic.cache_hit_rate', dyn.cache_hit_rate,
+               direction='higher')
+    result.add('throughput_gain_vs_batch1', report.throughput_gain, unit='x',
+               direction='higher')
+    result.add('cold_compile_seconds', report.cold_compile_seconds, unit='s')
+    result.add('warm_ladder_tuning_seconds', report.warm_ladder_seconds,
+               unit='s')
+    result.add('warm_second_bucket_tuning_seconds',
+               report.warm_second_bucket_seconds, unit='s')
+    # span-derived cross-check: the trace totals must reconcile with the
+    # stats the registry folded — the telemetry spine's conservation law
+    counts = telemetry.tracer.terminal_counts()
+    result.add('spans.completed', float(counts['complete']), unit='req',
+               direction='higher')
+    result.add('harness_wall_seconds', wall_seconds, unit='s',
+               direction='info')
+    return result
+
+
+def smoke(bench_out: str = None, trace_out: str = None) -> str:
+    """Reduced serving run (scaled-down models, 200-request trace).
+
+    Threads a :class:`repro.obs.Telemetry` through the headline dynamic
+    run, reconciles the span ledger against the folded stats, and emits
+    ``BENCH_serving.json`` (to ``bench_out``, defaulting to the gitignored
+    ``benchmarks/results/``).  ``trace_out`` additionally exports the run
+    as Chrome trace-event JSON for Perfetto.
+    """
     _validate_example_spec()
-    report = run_serving(num_requests=200, buckets=(1, 4), smoke=True)
+    telemetry = Telemetry()
+    with wall_clock() as wc:
+        report = run_serving(num_requests=200, buckets=(1, 4), smoke=True,
+                             telemetry=telemetry)
     _check(report)
-    return format_serving(report)
+    # every admitted request terminated exactly once, and the span ledger
+    # agrees with ServeStats on all three terminal counts
+    telemetry.tracer.assert_invariants()
+    counts = telemetry.tracer.terminal_counts()
+    assert counts['open'] == 0
+    assert counts['complete'] == report.dynamic.num_requests
+    assert counts['reject'] == report.dynamic.num_rejected
+    assert counts['lost'] == report.dynamic.num_lost_to_failure
+    path = write_bench(_serving_bench(report, telemetry, wc.seconds),
+                       bench_out)
+    if trace_out is not None:
+        telemetry.write_chrome_trace(trace_out)
+    return format_serving(report) + f'\nbench json -> {path}'
 
 
 def fleet_smoke() -> str:
@@ -284,6 +348,13 @@ def main(argv=None) -> int:
                              'experiments')
     parser.add_argument('--packing', action='store_true',
                         help='run the memory-aware packing experiment')
+    parser.add_argument('--bench-out', default=None, metavar='PATH',
+                        help='where --smoke writes BENCH_serving.json '
+                             '(default: repo-root BENCH_serving.json, the '
+                             'committed baseline location)')
+    parser.add_argument('--trace-out', default=None, metavar='PATH',
+                        help='with --smoke, export the dynamic run as '
+                             'Chrome trace-event JSON (open in Perfetto)')
     args = parser.parse_args(argv)
     if args.fleet or args.lifecycle or args.packing:
         # the experiment families compose: --fleet --lifecycle --packing
@@ -309,7 +380,10 @@ def main(argv=None) -> int:
             sections.append(text)
         print('\n\n'.join(sections))
     elif args.smoke:
-        print(smoke())
+        # the CLI refreshes the committed repo-root baseline by default;
+        # pytest-driven smoke() calls stay inside benchmarks/results/
+        bench_out = args.bench_out or str(REPO_ROOT / 'BENCH_serving.json')
+        print(smoke(bench_out=bench_out, trace_out=args.trace_out))
     else:
         report = run_serving()
         _check(report)

@@ -6,8 +6,9 @@ the same function (via the interpreter).
 """
 import numpy as np
 
-from common import write_result
+from common import write_bench, write_result
 from repro.baselines.loop_sched import Loop, LoopSchedule, create_default_program
+from repro.obs import BenchResult
 from repro.ir import BufferStoreStmt, tensor_var, var
 from repro.ir.compute import compute, tensor_input
 from repro.ir.task import Task
@@ -34,6 +35,10 @@ def smoke() -> str:
     b = np.full((128, 4), np.nan, dtype=np.float32)
     run_kernel(sched.lower(), [a, b])
     assert np.allclose(b, 2 * a)
+    bench = BenchResult(area='primitives', mode='smoke')
+    bench.add('scheduled_copy_max_abs_error',
+              float(np.max(np.abs(b - 2 * a))))
+    write_bench(bench)
     return 'bind(blockIdx.x, threadIdx.x):\n' + sched.program_text()
 
 

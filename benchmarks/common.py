@@ -1,7 +1,20 @@
-"""Shared helpers for the benchmark harness: result capture to files."""
+"""Shared helpers for the benchmark harness: result capture to files and
+machine-readable ``BENCH_<area>.json`` emission.
+
+Every ``bench_*`` script funnels its headline numbers through
+:func:`write_bench`, so all areas share one JSON contract
+(:mod:`repro.obs.bench`) and one regression gate
+(``python -m repro.obs.compare``).  By default the JSON lands in the
+gitignored ``benchmarks/results/``; the CLI entry points pass explicit
+repo-root paths when refreshing the committed seed baselines.
+"""
 from __future__ import annotations
 
 import os
+import time
+from typing import Optional
+
+from repro.obs import BenchResult
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), 'results')
 
@@ -13,3 +26,44 @@ def write_result(name: str, text: str) -> None:
         f.write(text + '\n')
     print()
     print(text)
+
+
+def bench_path(area: str, out_dir: Optional[str] = None) -> str:
+    """Default location of one area's ``BENCH_<area>.json``."""
+    return os.path.join(out_dir or RESULTS_DIR, f'BENCH_{area}.json')
+
+
+def write_bench(result: BenchResult, path: Optional[str] = None) -> str:
+    """Persist one area's machine-readable bench record; returns the path.
+
+    ``path=None`` writes ``BENCH_<area>.json`` into the gitignored
+    ``benchmarks/results/`` — the right default for pytest-driven smoke
+    runs, which must not dirty the tree.  CLI refreshes of the committed
+    baselines pass the repo-root path explicitly.
+    """
+    if path is None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = bench_path(result.area)
+    else:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+    result.write(path)
+    return path
+
+
+class wall_clock:
+    """Context manager timing a harness phase in real seconds.
+
+    Wall-clock goes into the bench JSON with ``direction='info'``: recorded
+    for trend-watching, never gated on (CI machines are too noisy for that).
+    """
+
+    seconds: float = 0.0
+
+    def __enter__(self) -> 'wall_clock':
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        return False

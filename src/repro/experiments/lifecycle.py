@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from ..gpusim.device import LAPTOP_GPU, RTX3090, DeviceSpec
+from ..obs import percentile
 from ..serve import (AutoscaleSpec, BatchingSpec, CacheSpec, Deployment,
                      DeploymentSpec, PlacementSpec, ReplicaGroupSpec,
                      ServeStats, diurnal_trace, poisson_trace)
@@ -244,7 +245,7 @@ class ScaleUpReport:
 def _post_join_p99_ms(result, join_at: float) -> float:
     lat = [c.latency * 1e3 for c in result.completions
            if c.request.arrival >= join_at]
-    return float(np.percentile(lat, 99)) if lat else float('nan')
+    return percentile(lat, 99)
 
 
 def run_scaleup_warmup(slo_p99_ms: float, join_fraction: float = 0.25,

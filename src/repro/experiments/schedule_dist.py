@@ -16,6 +16,7 @@ import numpy as np
 from ..baselines import Ansor, AutoTVM, contraction_dims_of_conv
 from ..core.tuning import MatmulTuner
 from ..gpusim.device import RTX3090
+from ..obs import percentile
 
 __all__ = ['DIST_WORKLOAD', 'run_schedule_distribution', 'format_schedule_distribution']
 
@@ -78,7 +79,7 @@ def format_schedule_distribution(result: DistributionResult) -> str:
         finite = [l for l in latencies if np.isfinite(l)]
         return (f'{name:8s} n={len(latencies):5d}  best={min(finite):7.1f} us  '
                 f'median={float(np.median(finite)):8.1f} us  '
-                f'p90={float(np.percentile(finite, 90)):8.1f} us')
+                f'p90={percentile(finite, 90):8.1f} us')
 
     summary = result.summary()
     lines = ['Figure 18: schedule-latency distribution '

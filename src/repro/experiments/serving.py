@@ -107,7 +107,7 @@ def batch1_capacity(registry: ModelRegistry,
 def run_serving(num_requests: int = 2000, buckets=(1, 2, 4, 8),
                 max_wait: float = 2e-3, seed: int = 0,
                 offered_load_factor: float = 1.5,
-                smoke: bool = False) -> ServingReport:
+                smoke: bool = False, telemetry=None) -> ServingReport:
     """Replay request traces over co-hosted ResNet-50 + Bert.
 
     The Poisson trace's offered load is set to ``offered_load_factor`` times
@@ -115,6 +115,11 @@ def run_serving(num_requests: int = 2000, buckets=(1, 2, 4, 8),
     runs in the regime dynamic batching exists for (offered load a no-batching
     server cannot sustain).  ``smoke=True`` swaps in scaled-down model shapes
     for a sub-10-second run with the same code path.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) records the headline
+    dynamic-batching Poisson run — and only that one: the batch=1 and
+    bursty runs replay the *same request ids*, and one telemetry instance
+    records one run.
     """
     buckets = tuple(sorted(set(buckets)))
     if len(buckets) < 2 or buckets[0] != 1:
@@ -140,7 +145,8 @@ def run_serving(num_requests: int = 2000, buckets=(1, 2, 4, 8),
         dyn_sim = ServerSimulator(registry,
                                   BatchingPolicy(max_batch=max_batch,
                                                  max_wait=max_wait))
-        dynamic = dyn_sim.run(trace).stats(registry)
+        dynamic = dyn_sim.run(trace, telemetry=telemetry).stats(
+            registry, telemetry=telemetry)
         batch1 = sim1.run(trace).stats(registry)
         burst = bursty_trace(burst_qps=2.0 * qps, idle_qps=0.2 * qps,
                              num_requests=num_requests, models=names,

@@ -1,0 +1,47 @@
+"""repro.obs — the observability spine under the serving stack.
+
+Three layers, one package:
+
+* **tracing** (:mod:`repro.obs.tracing`) — per-request spans
+  (arrival → … → complete/reject/lost) and per-batch GPU intervals,
+  exportable as Chrome trace-event JSON for Perfetto, with invariant
+  checks (every arrival terminates exactly once; sim-time monotonic);
+* **metrics** (:mod:`repro.obs.metrics`) — counters, sim-time gauges,
+  and the one :class:`Histogram` type both the compile-time profiler and
+  the serving fold summarize through, with :mod:`repro.obs.percentiles`
+  as the single percentile implementation repo-wide;
+* **trajectory** (:mod:`repro.obs.bench` + :mod:`repro.obs.compare`) —
+  the ``BENCH_<area>.json`` result format every benchmark emits and the
+  ``python -m repro.obs.compare`` gate that fails CI on regressions
+  beyond per-metric noise bands.
+
+:class:`Telemetry` is the facade the simulators call; it keeps the
+metric and trace views of a run in lockstep.  ``repro.obs`` imports
+nothing from ``repro.serve``/``repro.runtime`` — it sits at the bottom
+of the import graph so every layer above can speak it.
+"""
+from .percentiles import is_nan, percentile, percentiles, summarize_latencies
+from .metrics import (Counter, Gauge, Histogram, Measurement,
+                      MetricsRegistry, format_metrics_report)
+from .tracing import (LIFECYCLE_TRACK, TERMINAL_KINDS, BatchSpan, Instant,
+                      RequestSpan, Tracer)
+from .telemetry import Telemetry
+from .bench import BenchMetric, BenchResult
+# binds the *function* over the submodule attribute of the same name, so
+# `from repro.obs import compare` is callable regardless of import order
+from .compare import Comparison, MetricDelta, compare
+
+__all__ = [
+    # percentiles
+    'percentile', 'percentiles', 'summarize_latencies', 'is_nan',
+    # metrics
+    'Counter', 'Gauge', 'Histogram', 'Measurement', 'MetricsRegistry',
+    'format_metrics_report',
+    # tracing
+    'Tracer', 'RequestSpan', 'BatchSpan', 'Instant', 'TERMINAL_KINDS',
+    'LIFECYCLE_TRACK',
+    # telemetry facade
+    'Telemetry',
+    # trajectory harness
+    'BenchMetric', 'BenchResult', 'Comparison', 'MetricDelta', 'compare',
+]

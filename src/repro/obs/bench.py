@@ -1,0 +1,128 @@
+"""Machine-readable benchmark results: the ``BENCH_<area>.json`` format.
+
+Every ``benchmarks/bench_*`` script folds its smoke run into one
+:class:`BenchResult` — a flat, named set of :class:`BenchMetric` values
+(simulated latencies and p99s, tuning seconds, cache hit rates, *and* the
+harness's own wall-clock) — and writes it as ``BENCH_<area>.json``.  The
+committed copies at the repo root are the perf trajectory's point zero;
+:mod:`repro.obs.compare` diffs a fresh run against them and gates CI.
+
+Each metric carries its own comparison contract:
+
+* ``direction`` — ``'lower'`` (latency-like: bigger is a regression),
+  ``'higher'`` (hit-rate-like: smaller is a regression), or ``'info'``
+  (recorded for trend-watching, never gated — wall-clock lives here, so
+  CI machine noise can't fail a build);
+* ``noise`` — the relative band (default ±10%) inside which a change is
+  jitter, not signal.  Simulated metrics are deterministic given a seed,
+  so their bands mostly guard interpolation-level drift; the bands earn
+  their keep when intentional perf work moves a number and the gate makes
+  the direction explicit.
+
+The JSON layout is stable and timestamp-free (``format_version`` 1), so a
+re-run on an unchanged tree is byte-identical to the committed baseline.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ['BenchMetric', 'BenchResult', 'FORMAT_VERSION', 'DIRECTIONS']
+
+FORMAT_VERSION = 1
+DIRECTIONS = ('lower', 'higher', 'info')
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One benchmark number plus its comparison contract."""
+
+    value: float
+    unit: str = ''
+    direction: str = 'lower'
+    noise: float = 0.10
+
+    def __post_init__(self):
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f'direction must be one of {DIRECTIONS}, '
+                             f'got {self.direction!r}')
+        if self.noise < 0:
+            raise ValueError(f'noise band must be >= 0, got {self.noise}')
+
+    def to_dict(self) -> dict:
+        return {'value': self.value, 'unit': self.unit,
+                'direction': self.direction, 'noise': self.noise}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> 'BenchMetric':
+        return cls(value=d['value'], unit=d.get('unit', ''),
+                   direction=d.get('direction', 'lower'),
+                   noise=d.get('noise', 0.10))
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run: an area, a mode, and its named metrics."""
+
+    area: str
+    mode: str = 'smoke'
+    metrics: dict[str, BenchMetric] = field(default_factory=dict)
+
+    def add(self, name: str, value: float, unit: str = '',
+            direction: str = 'lower', noise: float = 0.10) -> None:
+        """Record one metric (re-adding a name overwrites it)."""
+        self.metrics[name] = BenchMetric(value=float(value), unit=unit,
+                                         direction=direction, noise=noise)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.metrics
+
+    def __getitem__(self, name: str) -> BenchMetric:
+        return self.metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self.metrics)
+
+    def to_dict(self) -> dict:
+        return {
+            'format_version': FORMAT_VERSION,
+            'area': self.area,
+            'mode': self.mode,
+            'metrics': {name: self.metrics[name].to_dict()
+                        for name in sorted(self.metrics)},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> 'BenchResult':
+        version = d.get('format_version')
+        if version != FORMAT_VERSION:
+            raise ValueError(f'unsupported bench format_version {version!r} '
+                             f'(this reader speaks {FORMAT_VERSION})')
+        return cls(area=d['area'], mode=d.get('mode', 'smoke'),
+                   metrics={name: BenchMetric.from_dict(m)
+                            for name, m in d.get('metrics', {}).items()})
+
+    def write(self, path: str) -> str:
+        """Write this result as ``BENCH_<area>.json``-style JSON."""
+        with open(path, 'w') as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write('\n')
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> 'BenchResult':
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def format_report(self, title: Optional[str] = None) -> str:
+        lines = [title or f'BENCH_{self.area} ({self.mode}): '
+                          f'{len(self.metrics)} metrics']
+        for name in sorted(self.metrics):
+            m = self.metrics[name]
+            unit = f' {m.unit}' if m.unit else ''
+            gate = (m.direction if m.direction != 'info'
+                    else 'info (not gated)')
+            lines.append(f'  {name:44s} {m.value:14.6g}{unit}  '
+                         f'[{gate}, ±{m.noise:.0%}]')
+        return '\n'.join(lines)

@@ -1,0 +1,196 @@
+"""The regression gate: diff two ``BENCH_<area>.json`` runs.
+
+``python -m repro.obs.compare BASELINE CANDIDATE`` loads two
+:class:`~repro.obs.bench.BenchResult` files, compares every baseline
+metric against the candidate under the baseline's own
+direction + noise-band contract, prints a delta table, and exits:
+
+* ``0`` — no regressions (improvements and in-band jitter both pass);
+* ``1`` — at least one regression, each named on stderr-visible output;
+* ``2`` — the files could not be loaded or are not comparable.
+
+Comparison rules (the baseline's contract governs throughout):
+
+* ``direction='lower'`` regresses when ``candidate > baseline * (1 + noise)``;
+* ``direction='higher'`` regresses when ``candidate < baseline * (1 - noise)``;
+* ``direction='info'`` never gates — reported for trend-watching only;
+* a baseline of exactly ``0`` has no relative band: any adverse move is a
+  regression (a latency that was zero and now isn't is signal, not noise);
+* a gated metric **missing** from the candidate is a regression (a bench
+  that silently stops reporting a number must not pass);
+* a gated metric whose candidate value is NaN while the baseline's is
+  finite is a regression (losing the measurement is a failure);
+* metrics only the candidate has are reported as new, never gated.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from .bench import BenchMetric, BenchResult
+from .percentiles import is_nan
+
+__all__ = ['MetricDelta', 'Comparison', 'compare', 'main']
+
+#: every status a metric delta can land in; only 'regressed' gates
+STATUSES = ('ok', 'improved', 'regressed', 'info', 'missing', 'new')
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-candidate verdict."""
+
+    name: str
+    status: str                  # one of STATUSES
+    baseline: float
+    candidate: float
+    direction: str
+    noise: float
+    detail: str = ''
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change vs baseline (NaN when undefined)."""
+        if is_nan(self.baseline) or is_nan(self.candidate):
+            return float('nan')
+        if self.baseline == 0:
+            return float('inf') if self.candidate != 0 else 0.0
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class Comparison:
+    """Every metric's verdict for one baseline/candidate pair."""
+
+    area: str
+    deltas: list[MetricDelta]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == 'regressed']
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_report(self, show_all: bool = True) -> str:
+        verdict = ('OK' if self.ok
+                   else f'REGRESSED ({len(self.regressions)} metrics)')
+        lines = [f'compare[{self.area}]: {verdict}']
+        for d in sorted(self.deltas, key=lambda d: (d.status != 'regressed',
+                                                    d.name)):
+            if not show_all and d.status in ('ok', 'info'):
+                continue
+            rel = d.rel_change
+            rel_s = ('     n/a' if is_nan(rel)
+                     else '    +inf' if rel == float('inf')
+                     else f'{rel:+8.1%}')
+            lines.append(
+                f'  [{d.status:9s}] {d.name:44s} '
+                f'{d.baseline:12.6g} -> {d.candidate:12.6g}  {rel_s}'
+                f'{"  " + d.detail if d.detail else ""}')
+        return '\n'.join(lines)
+
+
+def _judge(name: str, base: BenchMetric, cand_value: float) -> MetricDelta:
+    common = dict(name=name, baseline=base.value, candidate=cand_value,
+                  direction=base.direction, noise=base.noise)
+    if base.direction == 'info':
+        return MetricDelta(status='info', **common)
+    if is_nan(cand_value) and not is_nan(base.value):
+        return MetricDelta(status='regressed',
+                           detail='measurement became NaN', **common)
+    if is_nan(base.value):
+        # the baseline never measured this; nothing to gate against
+        return MetricDelta(status='ok', detail='baseline is NaN', **common)
+    if base.value == 0:
+        adverse = (cand_value > 0 if base.direction == 'lower'
+                   else cand_value < 0)
+        improved = (cand_value < 0 if base.direction == 'lower'
+                    else cand_value > 0)
+        status = ('regressed' if adverse else
+                  'improved' if improved else 'ok')
+        detail = ('baseline is 0: any adverse move gates'
+                  if adverse else '')
+        return MetricDelta(status=status, detail=detail, **common)
+    if base.direction == 'lower':
+        if cand_value > base.value * (1 + base.noise):
+            return MetricDelta(status='regressed',
+                               detail=f'above +{base.noise:.0%} band',
+                               **common)
+        if cand_value < base.value * (1 - base.noise):
+            return MetricDelta(status='improved', **common)
+    else:  # 'higher'
+        if cand_value < base.value * (1 - base.noise):
+            return MetricDelta(status='regressed',
+                               detail=f'below -{base.noise:.0%} band',
+                               **common)
+        if cand_value > base.value * (1 + base.noise):
+            return MetricDelta(status='improved', **common)
+    return MetricDelta(status='ok', **common)
+
+
+def compare(baseline: BenchResult, candidate: BenchResult) -> Comparison:
+    """Judge every baseline metric against the candidate run."""
+    deltas: list[MetricDelta] = []
+    for name in baseline.names():
+        base = baseline[name]
+        if name not in candidate:
+            if base.direction == 'info':
+                deltas.append(MetricDelta(
+                    name=name, status='info', baseline=base.value,
+                    candidate=float('nan'), direction=base.direction,
+                    noise=base.noise, detail='absent from candidate'))
+            else:
+                deltas.append(MetricDelta(
+                    name=name, status='missing', baseline=base.value,
+                    candidate=float('nan'), direction=base.direction,
+                    noise=base.noise,
+                    detail='gated metric absent from candidate'))
+            continue
+        deltas.append(_judge(name, base, candidate[name].value))
+    for name in candidate.names():
+        if name not in baseline:
+            cand = candidate[name]
+            deltas.append(MetricDelta(
+                name=name, status='new', baseline=float('nan'),
+                candidate=cand.value, direction=cand.direction,
+                noise=cand.noise, detail='not in baseline'))
+    # a silently vanished gated metric fails the gate like a regression
+    deltas = [d if d.status != 'missing'
+              else MetricDelta(name=d.name, status='regressed',
+                               baseline=d.baseline, candidate=d.candidate,
+                               direction=d.direction, noise=d.noise,
+                               detail=d.detail)
+              for d in deltas]
+    return Comparison(area=baseline.area, deltas=deltas)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog='python -m repro.obs.compare',
+        description='Diff two BENCH_<area>.json runs; exit non-zero on '
+                    'regression beyond each metric\'s noise band.')
+    parser.add_argument('baseline', help='committed BENCH_<area>.json')
+    parser.add_argument('candidate', help='freshly generated run to judge')
+    parser.add_argument('--quiet', action='store_true',
+                        help='only print regressions/improvements')
+    args = parser.parse_args(argv)
+    try:
+        baseline = BenchResult.load(args.baseline)
+        candidate = BenchResult.load(args.candidate)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f'compare: cannot load inputs: {exc}', file=sys.stderr)
+        return 2
+    if baseline.area != candidate.area:
+        print(f'compare: area mismatch: baseline is {baseline.area!r}, '
+              f'candidate is {candidate.area!r}', file=sys.stderr)
+        return 2
+    result = compare(baseline, candidate)
+    print(result.format_report(show_all=not args.quiet))
+    return 0 if result.ok else 1
+
+
+if __name__ == '__main__':
+    sys.exit(main())

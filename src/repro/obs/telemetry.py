@@ -1,0 +1,164 @@
+"""The telemetry facade the serving stack talks to.
+
+A :class:`Telemetry` bundles one run's :class:`~repro.obs.metrics.MetricsRegistry`
+and (optionally) one :class:`~repro.obs.tracing.Tracer` behind the handful
+of verbs the simulators actually speak — ``arrival``, ``reject``, ``lost``,
+``requeue``, ``batch_formed``, ``batch_done``, ``lifecycle_event``,
+``autoscale_decision``, ``queue_depth``, ``memory_committed``.  Each verb
+updates the live counters/gauges *and* the trace in one call, so the two
+views of a run can never disagree about what happened.
+
+Live metric names are namespaced ``sim.*`` (counted as the run unfolds);
+the fold in :func:`repro.serve.stats.compute_stats` derives its own
+``serve.*`` metrics afterwards and adopts the ``sim.*`` series via
+:meth:`MetricsRegistry.merge` — two prefixes, so a re-derived total never
+double-counts a live one.
+
+One ``Telemetry`` records one run: pass it to ``run(trace, telemetry=...)``
+(request ids restart per trace, so sharing one across runs would collide
+span ids).  Everything degrades gracefully — every simulator call site is
+``if telemetry is not None``-guarded, and a ``Telemetry(tracer=None)``
+keeps metrics without span records.
+"""
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracing import LIFECYCLE_TRACK, Tracer
+
+__all__ = ['Telemetry']
+
+
+class Telemetry:
+    """One run's metrics + trace, updated together through one facade."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if tracer is None:
+            tracer = Tracer()
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def arrival(self, request, now: float) -> None:
+        self.metrics.counter('sim.requests.arrived', unit='requests').add()
+        if self.tracer is not None:
+            self.tracer.arrival(request, now)
+
+    def reject(self, request, now: float, replica: Optional[int] = None,
+               reason: str = 'admission') -> None:
+        self.metrics.counter('sim.requests.rejected', unit='requests').add()
+        if self.tracer is not None:
+            self.tracer.reject(request, now, replica=replica, reason=reason)
+
+    def lost(self, request, now: float, replica: Optional[int] = None,
+             reason: str = 'failure') -> None:
+        self.metrics.counter('sim.requests.lost', unit='requests').add()
+        if self.tracer is not None:
+            self.tracer.lost(request, now, replica=replica, reason=reason)
+
+    def requeue(self, request, now: float, replica: int) -> None:
+        self.metrics.counter('sim.requests.requeued', unit='requests').add()
+        if self.tracer is not None:
+            self.tracer.requeue(request, now, replica)
+
+    # -- batching / execution ------------------------------------------------
+
+    def batch_formed(self, batch, replica: int, now: float,
+                     queued_after: Optional[int] = None) -> None:
+        self.metrics.counter('sim.batches.formed', unit='batches').add()
+        self.metrics.histogram('sim.batch.occupancy').observe(batch.occupancy)
+        self.metrics.histogram('sim.batch.size',
+                               unit='requests').observe(batch.size)
+        if queued_after is not None:
+            self.queue_depth(now, queued_after, replica=replica)
+        if self.tracer is not None:
+            self.tracer.batch_formed(batch, replica, now,
+                                     queued_after=queued_after)
+
+    def batch_done(self, batch, now: float) -> None:
+        self.metrics.counter('sim.batches.executed', unit='batches').add()
+        self.metrics.counter('sim.requests.completed',
+                             unit='requests').add(len(batch.requests))
+        self.metrics.histogram('sim.batch.execute_ms', unit='ms').observe(
+            (now - batch.dispatch_time) * 1e3)
+        for request in batch.requests:
+            self.metrics.histogram('sim.request.latency_ms',
+                                   unit='ms').observe(
+                (now - request.arrival) * 1e3)
+        if self.tracer is not None:
+            self.tracer.batch_done(batch, now)
+
+    # -- control plane -------------------------------------------------------
+
+    def lifecycle_event(self, kind: str, now: float, replica: int,
+                        detail: str = '') -> None:
+        self.metrics.counter(f'sim.lifecycle.{kind}', unit='events').add()
+        if self.tracer is not None:
+            args = {'replica': replica}
+            if detail:
+                args['detail'] = detail
+            self.tracer.instant(f'lifecycle:{kind}', now,
+                                track=LIFECYCLE_TRACK, **args)
+
+    def autoscale_decision(self, now: float, active: int, target: int,
+                           policy: str = '') -> None:
+        self.metrics.counter('sim.autoscale.decisions', unit='events').add()
+        self.metrics.gauge('sim.replicas.target',
+                           unit='replicas').set(now, target)
+        if self.tracer is not None:
+            self.tracer.instant('autoscale', now, track=LIFECYCLE_TRACK,
+                                active=active, target=target, policy=policy)
+
+    # -- sampled series ------------------------------------------------------
+
+    def queue_depth(self, now: float, depth: int,
+                    replica: Optional[int] = None) -> None:
+        name = ('sim.queue.depth' if replica is None
+                else f'sim.queue.depth.r{replica}')
+        self.metrics.gauge(name, unit='requests').set(now, depth)
+
+    def replicas_serving(self, now: float, count: int) -> None:
+        self.metrics.gauge('sim.replicas.serving',
+                           unit='replicas').set(now, count)
+
+    def memory_committed(self, now: float, replica: int,
+                         committed_bytes: float) -> None:
+        self.metrics.gauge(f'sim.memory.committed.r{replica}',
+                           unit='bytes').set(now, committed_bytes)
+
+    # -- export --------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The tracer's Chrome trace, plus every gauge as a counter track.
+
+        Gauge series export as ``C`` (counter) events, which Perfetto
+        renders as step charts — queue depth, target replicas, and
+        committed memory become graphs under the same timeline as the
+        request/batch spans.
+        """
+        if self.tracer is None:
+            doc = {'traceEvents': [], 'displayTimeUnit': 'ms'}
+        else:
+            doc = self.tracer.chrome_trace()
+        for name in self.metrics.names():
+            metric = self.metrics[name]
+            snap = metric.snapshot()
+            if snap['type'] != 'gauge':
+                continue
+            for t, value in metric.series():
+                doc['traceEvents'].append({
+                    'name': name, 'cat': 'metric', 'ph': 'C',
+                    'ts': t * 1e6, 'pid': 0,
+                    'args': {'value': value},
+                })
+        return doc
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Write :meth:`chrome_trace` to ``path``; returns ``path``."""
+        with open(path, 'w') as f:
+            json.dump(self.chrome_trace(), f, indent=1)
+        return path

@@ -1,0 +1,356 @@
+"""Request tracing: structured spans with Chrome trace-event export.
+
+One :class:`Tracer` records one simulation run as three kinds of record:
+
+* a :class:`RequestSpan` per trace request — arrival through admission,
+  queueing, batch formation and execution to exactly one **terminal**
+  (``complete`` / ``reject`` / ``lost``), carrying the replica, compiled
+  bucket, and dispatch time it picked up along the way;
+* a :class:`BatchSpan` per executed batch — the interval a coalesced
+  dispatch held a replica's GPU, with model/bucket/occupancy attributes
+  (a batch killed mid-flight records no span: its work never finished and
+  its requests terminate as ``lost`` instead);
+* an :class:`Instant` per point event — batch formation, lifecycle
+  transitions (join/kill/revive/retire/rehome/evict), autoscaler
+  decisions.
+
+Timestamps are simulated seconds throughout.  :meth:`Tracer.chrome_trace`
+exports the run in the Chrome trace-event JSON format (the ``traceEvents``
+array form), loadable in Perfetto / ``chrome://tracing``: request
+lifecycles become async ``b``/``e`` pairs keyed by request id, batch
+executions become ``X`` duration events on one track (``tid``) per
+replica, and instants become ``i`` events.
+
+The tracer also *audits* the run: :meth:`check_invariants` verifies that
+every arrival terminated exactly once, that timestamps are sim-time
+monotonic within each span, and that every executed batch's interval is
+well-formed — the span-level conservation law behind
+``ServeStats``' request-conservation property.  One tracer records one
+run; reusing it across runs trips the duplicate-arrival check.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ['RequestSpan', 'BatchSpan', 'Instant', 'Tracer',
+           'TERMINAL_KINDS', 'LIFECYCLE_TRACK']
+
+#: the three ways a request's span may end — exactly one per arrival
+TERMINAL_KINDS = ('complete', 'reject', 'lost')
+
+#: pseudo-replica index for control-plane instants (lifecycle, autoscaler);
+#: exported on its own named track rather than any replica's
+LIFECYCLE_TRACK = -1
+
+
+@dataclass
+class RequestSpan:
+    """One request's recorded lifecycle (terminal fields set exactly once)."""
+
+    req_id: int
+    model: str
+    size: int
+    arrival: float
+    replica: Optional[int] = None
+    dispatch_time: Optional[float] = None
+    bucket: Optional[int] = None
+    requeued: int = 0                    # times re-admitted after a failure
+    terminal: Optional[str] = None       # one of TERMINAL_KINDS, or open
+    terminal_time: Optional[float] = None
+    reason: str = ''                     # e.g. 'admission', 'failure'
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminal is not None
+
+
+@dataclass(frozen=True)
+class BatchSpan:
+    """One executed batch: the GPU-holding interval on ``replica``."""
+
+    replica: int
+    model: str
+    bucket: int
+    size: int
+    num_requests: int
+    start: float                         # dispatch (simulated seconds)
+    end: float                           # completion
+
+    @property
+    def occupancy(self) -> float:
+        return self.size / self.bucket
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a replica track (or the lifecycle control track)."""
+
+    name: str
+    time: float
+    replica: int = LIFECYCLE_TRACK
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Record one run's spans; export and audit them afterwards."""
+
+    def __init__(self):
+        self.request_spans: list[RequestSpan] = []
+        self.batch_spans: list[BatchSpan] = []
+        self.instants: list[Instant] = []
+        self._open: dict[int, RequestSpan] = {}
+        self._by_id: dict[int, RequestSpan] = {}
+        self._violations: list[str] = []
+        self._thread_names: dict[int, str] = {}
+
+    # -- recording (called by the simulators / batcher / autoscaler) ---------
+
+    def set_track_name(self, replica: int, name: str) -> None:
+        """Name a replica's export track (e.g. ``r0:RTX3090``)."""
+        self._thread_names[replica] = name
+
+    def arrival(self, request, now: float,
+                replica: Optional[int] = None) -> None:
+        """A trace request arrived (every request's span starts here)."""
+        if request.req_id in self._by_id:
+            self._violations.append(
+                f'duplicate arrival for request {request.req_id} '
+                f'(one tracer records one run)')
+            return
+        span = RequestSpan(req_id=request.req_id, model=request.model,
+                           size=request.size, arrival=now, replica=replica)
+        self._open[request.req_id] = span
+        self._by_id[request.req_id] = span
+        self.request_spans.append(span)
+
+    def _terminate(self, req_id: int, kind: str, now: float,
+                   replica: Optional[int], reason: str) -> None:
+        span = self._open.pop(req_id, None)
+        if span is None:
+            known = self._by_id.get(req_id)
+            if known is not None:
+                self._violations.append(
+                    f'request {req_id} terminated twice: '
+                    f'{known.terminal!r} then {kind!r}')
+            else:
+                self._violations.append(
+                    f'request {req_id} terminated ({kind!r}) without an '
+                    f'arrival')
+            return
+        span.terminal = kind
+        span.terminal_time = now
+        span.reason = reason
+        if replica is not None:
+            span.replica = replica
+
+    def reject(self, request, now: float, replica: Optional[int] = None,
+               reason: str = 'admission') -> None:
+        """Admission control turned the request away (terminal)."""
+        self._terminate(request.req_id, 'reject', now, replica, reason)
+
+    def lost(self, request, now: float, replica: Optional[int] = None,
+             reason: str = 'failure') -> None:
+        """The request was lost — replica death, or nowhere to re-home
+        (terminal)."""
+        self._terminate(request.req_id, 'lost', now, replica, reason)
+
+    def requeue(self, request, now: float, replica: int) -> None:
+        """The request survived its replica's death and re-admitted on
+        ``replica`` (not terminal; its span continues there)."""
+        span = self._open.get(request.req_id)
+        if span is not None:
+            span.requeued += 1
+            span.replica = replica
+            # it re-enters a queue: any earlier dispatch no longer holds
+            span.dispatch_time = None
+            span.bucket = None
+        self.instants.append(Instant(name='requeue', time=now,
+                                     replica=replica,
+                                     args={'req_id': request.req_id,
+                                           'model': request.model}))
+
+    def batch_formed(self, batch, replica: int, now: float,
+                     queued_after: Optional[int] = None) -> None:
+        """The batcher coalesced a dispatch (requests leave the queue)."""
+        for request in batch.requests:
+            span = self._open.get(request.req_id)
+            if span is not None:
+                span.dispatch_time = now
+                span.bucket = batch.bucket
+                span.replica = replica
+        args = {'model': batch.model, 'bucket': batch.bucket,
+                'size': batch.size,
+                'occupancy': round(batch.occupancy, 4)}
+        if queued_after is not None:
+            args['queued_after'] = queued_after
+        self.instants.append(Instant(name='batch_form', time=now,
+                                     replica=replica, args=args))
+
+    def batch_done(self, batch, now: float) -> None:
+        """The batch's GPU interval ended: its requests complete."""
+        self.batch_spans.append(BatchSpan(
+            replica=batch.replica, model=batch.model, bucket=batch.bucket,
+            size=batch.size, num_requests=len(batch.requests),
+            start=batch.dispatch_time, end=now))
+        for request in batch.requests:
+            self._terminate(request.req_id, 'complete', now, batch.replica,
+                            reason='')
+
+    def instant(self, name: str, now: float,
+                track: int = LIFECYCLE_TRACK, **args) -> None:
+        """A free-form point event (lifecycle transitions, autoscaler
+        decisions) on ``track``'s export track; ``args`` may carry any
+        attributes, including a ``replica`` the event is *about*."""
+        self.instants.append(Instant(name=name, time=now, replica=track,
+                                     args=dict(args)))
+
+    # -- auditing ------------------------------------------------------------
+
+    def terminal_counts(self) -> dict[str, int]:
+        """``{'complete': n, 'reject': n, 'lost': n, 'open': n}`` over every
+        recorded request span — the totals :class:`ServeStats` must agree
+        with."""
+        counts = {kind: 0 for kind in TERMINAL_KINDS}
+        counts['open'] = 0
+        for span in self.request_spans:
+            counts[span.terminal if span.is_terminated else 'open'] += 1
+        return counts
+
+    def check_invariants(self) -> list[str]:
+        """Audit the recorded run; returns violations (empty = clean).
+
+        Checks: every arrival terminated in exactly one of
+        ``complete``/``reject``/``lost`` (double terminations and
+        terminations without arrival were recorded as they happened);
+        span timestamps are sim-time monotonic (arrival <= dispatch <=
+        terminal); completed requests carry a dispatch and a bucket; and
+        every batch span is a well-formed, positively-sized interval.
+        """
+        problems = list(self._violations)
+        for span in self.request_spans:
+            rid = f'request {span.req_id}'
+            if not span.is_terminated:
+                problems.append(f'{rid} never terminated (arrived at '
+                                f'{span.arrival:.6f}s, still open)')
+                continue
+            if span.terminal_time < span.arrival:
+                problems.append(
+                    f'{rid} terminal at {span.terminal_time:.6f}s before '
+                    f'its arrival at {span.arrival:.6f}s')
+            if span.dispatch_time is not None:
+                if span.dispatch_time < span.arrival:
+                    problems.append(
+                        f'{rid} dispatched at {span.dispatch_time:.6f}s '
+                        f'before its arrival at {span.arrival:.6f}s')
+                if span.terminal_time < span.dispatch_time:
+                    problems.append(
+                        f'{rid} terminal at {span.terminal_time:.6f}s '
+                        f'before its dispatch at {span.dispatch_time:.6f}s')
+            if span.terminal == 'complete':
+                if span.dispatch_time is None or span.bucket is None:
+                    problems.append(f'{rid} completed without a recorded '
+                                    f'dispatch/bucket')
+                if span.replica is None:
+                    problems.append(f'{rid} completed without a replica')
+        for i, batch in enumerate(self.batch_spans):
+            if batch.end < batch.start:
+                problems.append(f'batch span #{i} ends ({batch.end:.6f}s) '
+                                f'before it starts ({batch.start:.6f}s)')
+            if batch.size < 1 or batch.num_requests < 1:
+                problems.append(f'batch span #{i} is empty')
+            if batch.size > batch.bucket:
+                problems.append(f'batch span #{i} overflows its bucket '
+                                f'({batch.size} > {batch.bucket})')
+        return problems
+
+    def assert_invariants(self) -> None:
+        """Raise ``AssertionError`` listing every violation (none = pass)."""
+        problems = self.check_invariants()
+        assert not problems, (
+            'span-lifecycle invariants violated:\n  '
+            + '\n  '.join(problems))
+
+    # -- export --------------------------------------------------------------
+
+    @staticmethod
+    def _us(t: float) -> float:
+        """Simulated seconds -> trace microseconds."""
+        return t * 1e6
+
+    def _tid(self, replica: Optional[int]) -> int:
+        if replica is None:
+            return 0
+        if replica == LIFECYCLE_TRACK:
+            return 999_999               # the named control-plane track
+        return replica
+
+    def chrome_trace(self) -> dict:
+        """The run as Chrome trace-event JSON (the object form).
+
+        Load the written file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  Request lifecycles are async ``b``/``e``
+        pairs keyed by request id (the ``e`` event's ``args.terminal``
+        carries the outcome), batch executions are ``X`` duration events
+        on per-replica tracks, instants are ``i`` events.
+        """
+        events: list[dict] = [{
+            'name': 'process_name', 'ph': 'M', 'pid': 0,
+            'args': {'name': 'repro.serve simulation'},
+        }]
+        names = dict(self._thread_names)
+        names.setdefault(LIFECYCLE_TRACK, 'lifecycle')
+        for replica, name in sorted(names.items()):
+            events.append({'name': 'thread_name', 'ph': 'M', 'pid': 0,
+                           'tid': self._tid(replica), 'args': {'name': name}})
+        for span in self.request_spans:
+            tid = self._tid(span.replica)
+            events.append({
+                'name': f'request:{span.model}', 'cat': 'request',
+                'ph': 'b', 'id': span.req_id,
+                'ts': self._us(span.arrival), 'pid': 0, 'tid': tid,
+                'args': {'req_id': span.req_id, 'model': span.model,
+                         'size': span.size},
+            })
+            if not span.is_terminated:
+                continue
+            args = {'terminal': span.terminal, 'req_id': span.req_id,
+                    'latency_ms': (span.terminal_time - span.arrival) * 1e3}
+            if span.reason:
+                args['reason'] = span.reason
+            if span.dispatch_time is not None:
+                args['dispatch_ts_us'] = self._us(span.dispatch_time)
+                args['bucket'] = span.bucket
+            if span.requeued:
+                args['requeued'] = span.requeued
+            events.append({
+                'name': f'request:{span.model}', 'cat': 'request',
+                'ph': 'e', 'id': span.req_id,
+                'ts': self._us(span.terminal_time), 'pid': 0, 'tid': tid,
+                'args': args,
+            })
+        for batch in self.batch_spans:
+            events.append({
+                'name': f'{batch.model}[b{batch.bucket}]', 'cat': 'batch',
+                'ph': 'X', 'ts': self._us(batch.start),
+                'dur': self._us(batch.end - batch.start),
+                'pid': 0, 'tid': self._tid(batch.replica),
+                'args': {'model': batch.model, 'bucket': batch.bucket,
+                         'size': batch.size,
+                         'num_requests': batch.num_requests,
+                         'occupancy': round(batch.occupancy, 4)},
+            })
+        for inst in self.instants:
+            events.append({
+                'name': inst.name, 'cat': 'event', 'ph': 'i', 's': 't',
+                'ts': self._us(inst.time), 'pid': 0,
+                'tid': self._tid(inst.replica), 'args': dict(inst.args),
+            })
+        return {'traceEvents': events, 'displayTimeUnit': 'ms'}
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Write :meth:`chrome_trace` to ``path`` (JSON); returns ``path``."""
+        with open(path, 'w') as f:
+            json.dump(self.chrome_trace(), f, indent=1)
+        return path

@@ -4,35 +4,38 @@ Mirrors the artifact's measurement protocol: warm-up runs, then the average
 and standard deviation of repeated runs.  A seeded relative-noise term makes
 the std realistic; with ``noise=0`` (the default) measurements are exactly
 the analytic model's estimates, keeping experiments deterministic.
+
+:class:`Measurement` itself lives in :mod:`repro.obs.metrics` now (re-exported
+here unchanged): compile-time measurements and serve-time latencies summarize
+through the same :class:`~repro.obs.metrics.Histogram` type, so a profiler
+repeat-set and a serving run's per-request latencies speak one vocabulary —
+``benchmark`` below observes its samples into a histogram and returns
+``histogram.measurement()``.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..obs.metrics import Histogram, Measurement
 from .compiled import CompiledGraph
 
 __all__ = ['Measurement', 'benchmark']
 
 
-@dataclass(frozen=True)
-class Measurement:
-    mean_ms: float
-    std_ms: float
-    repeats: int
-
-    def __str__(self) -> str:
-        return f'{self.mean_ms:.3f} ms (±{self.std_ms:.3f}, n={self.repeats})'
-
-
 def benchmark(compiled: CompiledGraph, repeats: int = 10, noise: float = 0.0,
               seed: int = 0) -> Measurement:
-    """Measure a compiled graph's latency (simulated)."""
+    """Measure a compiled graph's latency (simulated).
+
+    The repeated samples are observed into one
+    :class:`~repro.obs.metrics.Histogram` and summarized via
+    :meth:`~repro.obs.metrics.Histogram.measurement` — the same path a
+    serving run's latencies take.  ``noise=0`` short-circuits to the
+    analytic estimate with zero std, exactly as before.
+    """
     base = compiled.latency * 1e3
     if noise <= 0:
         return Measurement(mean_ms=base, std_ms=0.0, repeats=repeats)
     rng = np.random.default_rng(seed)
-    samples = base * (1.0 + rng.normal(0.0, noise, size=repeats))
-    return Measurement(mean_ms=float(samples.mean()), std_ms=float(samples.std()),
-                       repeats=repeats)
+    histogram = Histogram('profiler.latency_ms', unit='ms')
+    histogram.observe_many(base * (1.0 + rng.normal(0.0, noise, size=repeats)))
+    return histogram.measurement()

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
 from ..gpusim.device import A100, LAPTOP_GPU, RTX3090, DeviceSpec
+from ..obs import Telemetry
 from .batcher import BatchingPolicy
 from .fleet import Fleet, FleetResult, FleetSimulator, format_fleet_report
 from .lifecycle import (Autoscaler, AutoscalerConfig, FailureEvent,
@@ -886,16 +887,19 @@ class Deployment:
 
     # -- running -------------------------------------------------------------
 
-    def run(self, trace: Sequence[Request]) -> FleetResult:
+    def run(self, trace: Sequence[Request],
+            telemetry: Optional['Telemetry'] = None) -> FleetResult:
         """Replay ``trace`` against the deployment; returns the
         :class:`FleetResult` (also kept on ``last_result`` for
-        :meth:`report`).  Lifecycle specs rebuild a fresh fleet per run."""
+        :meth:`report`).  Lifecycle specs rebuild a fresh fleet per run.
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, one per run) records
+        the run's spans and metrics for Chrome-trace export."""
         if self._stale:
             self.fleet = None
             self.simulator = None
             self._stale = False
         self.build()
-        result = self.simulator.run(trace)
+        result = self.simulator.run(trace, telemetry=telemetry)
         self.last_result = result
         self._stale = (self.spec.autoscale is not None
                        or self.spec.failures is not None)

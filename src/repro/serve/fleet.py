@@ -40,9 +40,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
 from ..gpusim.device import DeviceSpec
+from ..obs import Telemetry, percentile
 from ..runtime.cache import ScheduleCache
 from .batcher import Batch, BatchingPolicy, DynamicBatcher
 from .lifecycle import Autoscaler, FailureEvent, LifecycleEvent
@@ -446,7 +445,8 @@ class FleetResult:
     #: simulated tuning seconds paid re-homing orphaned models
     rehome_tuning_seconds: float = 0.0
 
-    def stats(self, cold_start_seconds: Optional[float] = None) -> ServeStats:
+    def stats(self, cold_start_seconds: Optional[float] = None,
+              telemetry: Optional[Telemetry] = None) -> ServeStats:
         """Fleet-wide :class:`ServeStats` (latencies, cache economics,
         rejections, lifecycle losses); pass ``cold_start_seconds`` to
         override the fleet's compile bill (e.g. 0.0 for a fully warmed
@@ -454,7 +454,9 @@ class FleetResult:
         *pre-trace* bill only: mid-run tuning (scale-up joins, failure
         re-homing) is subtracted out, so the join bill appears exactly
         once — as ``scale_up_tuning_seconds`` (re-home tuning stays on
-        :attr:`rehome_tuning_seconds` here)."""
+        :attr:`rehome_tuning_seconds` here).  ``telemetry`` (the instance
+        the run recorded into) merges its live ``sim.*`` metrics into
+        ``stats.metrics``."""
         if cold_start_seconds is None:
             cold_start_seconds = (self.fleet.total_compile_seconds
                                   - self.scale_up_tuning_seconds
@@ -466,6 +468,8 @@ class FleetResult:
                              num_requeued=self.num_requeued,
                              replica_seconds=self.replica_seconds,
                              scale_up_tuning_seconds=self.scale_up_tuning_seconds,
+                             live_metrics=(telemetry.metrics
+                                           if telemetry is not None else None),
                              peak_memory_bytes={
                                  r.label: r.memory.peak_committed_bytes
                                  for r in self.fleet.replicas
@@ -555,6 +559,7 @@ class FleetSimulator:
         self.failures = tuple(failures) if failures is not None else ()
         self._batchers: list[DynamicBatcher] = []
         self._gpu_free_at: list[float] = []
+        self._telemetry: Optional[Telemetry] = None
 
     # -- load view (consumed by placement and autoscaling policies) ------------
 
@@ -605,7 +610,7 @@ class FleetSimulator:
         lats = [lat for t, lat in recent if t >= now - window]
         if not lats:
             return None
-        return float(np.percentile(lats, 99))
+        return percentile(lats, 99)
 
     # -- simulation ------------------------------------------------------------
 
@@ -617,6 +622,23 @@ class FleetSimulator:
     def _push(self, when: float, kind: str, replica: int, payload=None) -> None:
         heapq.heappush(self._events,
                        (when, next(self._seq), kind, replica, payload))
+
+    def _event(self, now: float, kind: str, replica: int,
+               detail: str = '') -> None:
+        """Record one lifecycle transition — in the run's event log and,
+        when the run carries telemetry, as a control-track instant plus the
+        serving-replica and committed-DRAM gauge samples (lifecycle
+        transitions are exactly the moments those series change)."""
+        self._log.append(LifecycleEvent(time=now, kind=kind, replica=replica,
+                                        detail=detail))
+        tel = self._telemetry
+        if tel is not None:
+            tel.lifecycle_event(kind, now, replica, detail=detail)
+            tel.replicas_serving(now, len(self.serving_replicas()))
+            for rep in self.fleet.replicas:
+                if rep.memory is not None and rep.is_alive:
+                    tel.memory_committed(now, rep.index,
+                                         rep.memory.committed_bytes)
 
     def _dispatch(self, replica: int, now: float) -> None:
         """Try to put a ready batch on ``replica``'s (idle, alive) GPU."""
@@ -640,6 +662,9 @@ class FleetSimulator:
         self._busy[replica] += service
         self._in_flight[replica] = batch
         self._batches.append(batch)
+        if self._telemetry is not None:
+            self._telemetry.batch_formed(batch, replica, now,
+                                         queued_after=batcher.pending())
         self._push(self._gpu_free_at[replica], 'gpu_free', replica,
                    self._epoch[replica])
 
@@ -670,8 +695,7 @@ class FleetSimulator:
         self._rehome_tuning += self.fleet.host_model(target, model)
         self._batchers[target].add_model(
             model, self.fleet.replicas[target].registry[model].bucket_sizes)
-        self._log.append(LifecycleEvent(time=now, kind='rehome',
-                                        replica=target, detail=model))
+        self._event(now, 'rehome', target, detail=model)
         return target
 
     def _evict_for_rehome(self, model: str, serving: Sequence[int],
@@ -715,9 +739,8 @@ class FleetSimulator:
                     break
                 freed = self.fleet.evict_model(target, name)
                 batcher.remove_model(name)
-                self._log.append(LifecycleEvent(
-                    time=now, kind='evict', replica=target,
-                    detail=f'{name} -{format_bytes(freed)}'))
+                self._event(now, 'evict', target,
+                            detail=f'{name} -{format_bytes(freed)}')
             return target
         return None
 
@@ -739,8 +762,13 @@ class FleetSimulator:
             self._num_requeued += 1
             self._requeued_ids.add(request.req_id)
             touched.add(target)
+            if self._telemetry is not None:
+                self._telemetry.requeue(request, now, target)
         else:
             self._lost.append(request)
+            if self._telemetry is not None:
+                self._telemetry.lost(request, now,
+                                     reason='failure:readmit_refused')
 
     def _end_active_span(self, replica: int, now: float) -> None:
         since = self._active_since.pop(replica, None)
@@ -776,8 +804,12 @@ class FleetSimulator:
             self._gpu_free_at[replica] = now
             self._lost.extend(batch.requests)
             self._batches.remove(batch)
+            if self._telemetry is not None:
+                for request in batch.requests:
+                    self._telemetry.lost(request, now, replica=replica,
+                                         reason='failure:in_flight')
         self._killed.add(replica)
-        self._log.append(LifecycleEvent(time=now, kind='kill', replica=replica))
+        self._event(now, 'kill', replica)
         touched: set = set()
         for request in self._batchers[replica].drain():
             self._readmit(request, now, touched)
@@ -801,8 +833,7 @@ class FleetSimulator:
         rep.retired_at = None
         self._gpu_free_at[replica] = now
         self._active_since[replica] = now
-        self._log.append(LifecycleEvent(time=now, kind='revive',
-                                        replica=replica))
+        self._event(now, 'revive', replica)
         if replica in self._draining_at_kill:
             # it died mid-retirement: resume (and, with its queues drained
             # by the kill, immediately complete) the scale-down instead of
@@ -830,15 +861,16 @@ class FleetSimulator:
         self._busy.append(0.0)
         self._epoch.append(0)
         self._active_since[replica.index] = now
-        self._log.append(LifecycleEvent(
-            time=now, kind='join', replica=replica.index,
-            detail=f'{device.name} +{replica.compile_seconds:.1f}s tuning'))
+        if self._telemetry is not None and self._telemetry.tracer is not None:
+            self._telemetry.tracer.set_track_name(replica.index, replica.label)
+        self._event(now, 'join', replica.index,
+                    detail=f'{device.name} +{replica.compile_seconds:.1f}s '
+                           f'tuning')
 
     def _begin_retire(self, replica: int, now: float) -> None:
         rep = self.fleet.replicas[replica]
         rep.state = 'draining'
-        self._log.append(LifecycleEvent(time=now, kind='retire_begin',
-                                        replica=replica))
+        self._event(now, 'retire_begin', replica)
         self._maybe_finish_retire(replica, now)
 
     def _maybe_finish_retire(self, replica: int, now: float) -> None:
@@ -848,8 +880,7 @@ class FleetSimulator:
             rep.state = 'dead'
             rep.retired_at = now
             self._end_active_span(replica, now)
-            self._log.append(LifecycleEvent(time=now, kind='retire_done',
-                                            replica=replica))
+            self._event(now, 'retire_done', replica)
 
     def _can_absorb(self, victim: int, chosen: set) -> bool:
         """Scale-down safety: the survivors must be able to take the
@@ -901,6 +932,9 @@ class FleetSimulator:
         scaler = self.autoscaler
         active = len(self.serving_replicas()) + self._pending_joins
         target = scaler.decide(self, now, active)
+        if self._telemetry is not None:
+            self._telemetry.autoscale_decision(
+                now, active, target, policy=type(scaler.policy).__name__)
         if target > active:
             for _ in range(target - active):
                 self._pending_joins += 1
@@ -917,9 +951,8 @@ class FleetSimulator:
                 self._pending_joins -= cancelled
                 self._cancelled_joins += cancelled
                 deficit -= cancelled
-                self._log.append(LifecycleEvent(
-                    time=now, kind='join_cancelled', replica=-1,
-                    detail=f'{cancelled} pending'))
+                self._event(now, 'join_cancelled', -1,
+                            detail=f'{cancelled} pending')
             victims = self._retire_victims(deficit) if deficit else []
             for victim in victims:
                 self._begin_retire(victim, now)
@@ -928,7 +961,8 @@ class FleetSimulator:
         if now + scaler.config.interval <= horizon:
             self._push(now + scaler.config.interval, 'autoscale', -1)
 
-    def run(self, trace: Sequence[Request]) -> FleetResult:
+    def run(self, trace: Sequence[Request],
+            telemetry: Optional[Telemetry] = None) -> FleetResult:
         """Replay ``trace`` (any order; sorted internally) to completion.
 
         Builds the fleet if needed, resets the placement policy and the
@@ -936,6 +970,10 @@ class FleetSimulator:
         completed (or was lost to a failure).  Returns a
         :class:`FleetResult`; request conservation holds on it:
         ``len(trace) == completions + rejected + lost``.
+
+        ``telemetry`` (one per run — request ids restart per trace) records
+        every request span, batch interval, lifecycle transition, and
+        autoscaler decision; its Chrome export shows one track per replica.
 
         A lifecycle run *mutates the fleet* (replicas join, die, retire) —
         replaying a scenario means building a fresh :class:`Fleet`, which
@@ -945,7 +983,14 @@ class FleetSimulator:
         fleet.placement.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
+        self._telemetry = telemetry
         n = len(fleet.replicas)
+        if telemetry is not None:
+            if telemetry.tracer is not None:
+                for replica in fleet.replicas:
+                    telemetry.tracer.set_track_name(replica.index,
+                                                    replica.label)
+            telemetry.replicas_serving(0.0, len(self.serving_replicas()))
         self._batchers = [
             DynamicBatcher(self.policy, replica.registry.bucket_map())
             for replica in fleet.replicas]
@@ -993,12 +1038,19 @@ class FleetSimulator:
         while self._events:
             now, _, kind, replica, payload = heapq.heappop(self._events)
             if kind == 'arrival':
+                if telemetry is not None:
+                    telemetry.arrival(payload, now)
                 replica = self._route(payload, now)
                 if replica is None:
                     self._lost.append(payload)
+                    if telemetry is not None:
+                        telemetry.lost(payload, now,
+                                       reason='failure:no_live_host')
                     continue
                 if not self._batchers[replica].offer(payload):
                     self._rejected.append(payload)
+                    if telemetry is not None:
+                        telemetry.reject(payload, now, replica=replica)
                     continue
             elif kind == 'gpu_free':
                 if payload != self._epoch[replica]:
@@ -1016,6 +1068,8 @@ class FleetSimulator:
                     if self._track_recent:
                         self._recent.append(
                             (now, (now - request.arrival) * 1e3))
+                if telemetry is not None:
+                    telemetry.batch_done(batch, now)
                 self._maybe_finish_retire(replica, now)
             elif kind == 'kill':
                 took_effect = self._kill(replica, now)
@@ -1058,6 +1112,7 @@ class FleetSimulator:
         self._recent = deque()
         self._requeued_ids = set()
         self._events = []
+        self._telemetry = None
         return result
 
 

@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..obs import Telemetry
 from .batcher import Batch, BatchingPolicy, DynamicBatcher
 from .registry import ModelRegistry
 from .stats import ServeStats, compute_stats
@@ -86,16 +87,21 @@ class SimulationResult:
     rejected: list[Request] = field(default_factory=list)
 
     def stats(self, registry: Optional[ModelRegistry] = None,
-              cold_start_seconds: Optional[float] = None) -> ServeStats:
+              cold_start_seconds: Optional[float] = None,
+              telemetry: Optional[Telemetry] = None) -> ServeStats:
         """Fold the run into a :class:`~repro.serve.stats.ServeStats`.
 
         ``registry`` contributes compile-side accounting (cache traffic and
         the cold-start tuning bill); ``cold_start_seconds`` overrides the
         latter (e.g. zero for a registry warmed from a persisted cache).
+        ``telemetry`` (the instance the run recorded into) merges its live
+        ``sim.*`` metrics into ``stats.metrics``.
         """
         return compute_stats(self.completions, self.batches, registry=registry,
                              cold_start_seconds=cold_start_seconds,
-                             rejected=self.rejected)
+                             rejected=self.rejected,
+                             live_metrics=(telemetry.metrics
+                                           if telemetry is not None else None))
 
     @property
     def gpu_utilization(self) -> float:
@@ -138,12 +144,17 @@ class ServerSimulator:
         (the bucket's modeled kernel latency plus ``batch_overhead``)."""
         return self.registry[model].latency(bucket) + self.batch_overhead
 
-    def run(self, trace: Sequence[Request]) -> SimulationResult:
+    def run(self, trace: Sequence[Request],
+            telemetry: Optional[Telemetry] = None) -> SimulationResult:
         """Replay ``trace`` (any order; sorted internally) to completion.
 
         Returns a :class:`SimulationResult` whose ``completions`` cover
         every admitted request; with ``policy.max_queue`` set, turned-away
         arrivals land in ``result.rejected`` instead of completing.
+
+        ``telemetry`` (one per run — request ids restart per trace) records
+        the run as spans and live metrics; ``None`` keeps the simulator
+        observation-free.
         """
         batcher = DynamicBatcher(self.policy, self.registry.bucket_map())
         events: list[tuple[float, int, str, Optional[Request]]] = []
@@ -179,6 +190,9 @@ class ServerSimulator:
             busy_seconds += service
             in_flight = batch
             batches.append(batch)
+            if telemetry is not None:
+                telemetry.batch_formed(batch, replica=0, now=now,
+                                       queued_after=batcher.pending())
             heapq.heappush(events, (gpu_free_at, next(seq), 'gpu_free', None))
 
         while events:
@@ -186,8 +200,12 @@ class ServerSimulator:
             if armed_deadline is not None and now >= armed_deadline:
                 armed_deadline = None        # the armed timer is due/spent
             if kind == 'arrival':
+                if telemetry is not None:
+                    telemetry.arrival(payload, now)
                 if not batcher.offer(payload):
                     rejected.append(payload)
+                    if telemetry is not None:
+                        telemetry.reject(payload, now)
             elif kind == 'gpu_free':
                 batch = in_flight
                 in_flight = None
@@ -197,6 +215,8 @@ class ServerSimulator:
                         dispatch_time=batch.dispatch_time,
                         completion=now,
                         bucket=batch.bucket))
+                if telemetry is not None:
+                    telemetry.batch_done(batch, now)
             # 'timer' events carry no state — they only force the dispatch
             # attempt below at the deadline instant
             if now >= gpu_free_at and in_flight is None:

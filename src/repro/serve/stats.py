@@ -5,6 +5,16 @@ the registry's compile accounting — the same split the runtime keeps
 (:class:`~repro.runtime.compiled.CompileReport` vs serve-time latency), so a
 report can say both "p99 was 6.2 ms" and "the cold-start tuning bill
 amortized to 1.7 s per request over this trace".
+
+The fold is built on :mod:`repro.obs`: every number in a
+:class:`ServeStats` is first recorded into a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters for the request
+channels and cache traffic, one latency :class:`~repro.obs.metrics.Histogram`
+percentiled through the shared :mod:`repro.obs.percentiles` helper) and the
+dataclass fields are read back out of it.  The registry rides along as
+``stats.metrics`` — fold-time metrics are namespaced ``serve.*``, and a
+run's live-sampled ``sim.*`` series (queue depth, replica count) join it
+via ``live_metrics`` without double-counting either side.
 """
 from __future__ import annotations
 
@@ -13,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import MetricsRegistry
 from .memory import format_bytes as _fmt_bytes
 
 __all__ = ['ServeStats', 'compute_stats', 'format_serving_report']
@@ -82,6 +93,12 @@ class ServeStats:
     peak_memory_bytes: dict[str, int] = field(default_factory=dict)
     #: replica label -> DRAM capacity in bytes (pairs with the peaks above)
     memory_capacity_bytes: dict[str, int] = field(default_factory=dict)
+    #: the full metrics registry this fold was computed through (``serve.*``
+    #: fold-time metrics plus any merged live ``sim.*`` series); carried
+    #: out-of-band of equality/repr — two runs are "equal" when their
+    #: numbers agree, not when their sample series do
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False,
+                                               repr=False)
 
     @property
     def peak_memory_utilization(self) -> float:
@@ -140,7 +157,8 @@ def compute_stats(completions, batches, registry=None,
                   replica_seconds: float = 0.0,
                   scale_up_tuning_seconds: float = 0.0,
                   peak_memory_bytes: Optional[dict] = None,
-                  memory_capacity_bytes: Optional[dict] = None) -> ServeStats:
+                  memory_capacity_bytes: Optional[dict] = None,
+                  live_metrics: Optional[MetricsRegistry] = None) -> ServeStats:
     """Fold completion records and dispatches into a :class:`ServeStats`.
 
     ``completions`` are the simulator's per-request records (``request``,
@@ -153,6 +171,15 @@ def compute_stats(completions, batches, registry=None,
     (requests dropped by replica failures), ``num_requeued``,
     ``replica_seconds``, ``scale_up_tuning_seconds`` — is filled by fleet
     runs with autoscaling or failure injection and stays zero otherwise.
+
+    The fold runs *through* a fresh ``serve.*``-namespaced
+    :class:`~repro.obs.metrics.MetricsRegistry` (returned as
+    ``stats.metrics``): counters for every request channel and cache tier,
+    and one latency histogram whose percentiles are the dataclass's
+    latency fields.  ``live_metrics`` — a run's live-sampled ``sim.*``
+    registry, e.g. ``telemetry.metrics`` — is merged in by name, existing
+    names winning, so live and fold-time views coexist without
+    double-counting.
 
     A run with offered load but **zero completions** (every request
     rejected or lost — e.g. failure injection killing the whole fleet at
@@ -176,6 +203,25 @@ def compute_stats(completions, batches, registry=None,
     if cold_start_seconds is not None:
         cold = cold_start_seconds
 
+    metrics = MetricsRegistry()
+    metrics.counter('serve.requests.completed',
+                    unit='requests').add(len(completions))
+    metrics.counter('serve.requests.rejected',
+                    unit='requests').add(len(rejected))
+    metrics.counter('serve.requests.lost', unit='requests').add(len(lost))
+    metrics.counter('serve.requests.requeued',
+                    unit='requests').add(num_requeued)
+    metrics.counter('serve.batches', unit='batches').add(len(batches))
+    metrics.counter('serve.cache.hits').add(hits)
+    metrics.counter('serve.cache.misses').add(misses)
+    metrics.counter('serve.cache.transfer_hits').add(transfers)
+    metrics.counter('serve.cache.device_transfer_hits').add(device_transfers)
+    metrics.counter('serve.cold_start_seconds', unit='s').add(cold)
+    metrics.counter('serve.replica_seconds', unit='s').add(replica_seconds)
+    metrics.counter('serve.scale_up_tuning_seconds',
+                    unit='s').add(scale_up_tuning_seconds)
+    metrics.merge(live_metrics)
+
     # everything except the latency/throughput block, shared by both
     # construction sites so a future field cannot drift between them
     channels = dict(
@@ -190,6 +236,7 @@ def compute_stats(completions, batches, registry=None,
         scale_up_tuning_seconds=scale_up_tuning_seconds,
         peak_memory_bytes=dict(peak_memory_bytes or {}),
         memory_capacity_bytes=dict(memory_capacity_bytes or {}),
+        metrics=metrics,
     )
 
     if not completions:
@@ -205,14 +252,19 @@ def compute_stats(completions, batches, registry=None,
 
     arrivals = np.asarray([c.request.arrival for c in completions])
     finishes = np.asarray([c.completion for c in completions])
-    latencies_ms = (finishes - arrivals) * 1e3
+    latency_hist = metrics.histogram('serve.latency_ms', unit='ms')
+    latency_hist.observe_many((finishes - arrivals) * 1e3)
     duration = float(finishes.max() - arrivals.min())
     if duration <= 0:
         duration = float(finishes.max()) or 1e-12
     num_samples = int(sum(c.request.size for c in completions))
+    occupancy_hist = metrics.histogram('serve.batch.occupancy')
     histogram: dict[int, int] = {}
     for batch in batches:
         histogram[batch.bucket] = histogram.get(batch.bucket, 0) + 1
+        occupancy_hist.observe(batch.occupancy)
+    metrics.counter('serve.samples.completed',
+                    unit='samples').add(num_samples)
 
     return ServeStats(
         num_requests=len(completions),
@@ -221,14 +273,13 @@ def compute_stats(completions, batches, registry=None,
         duration=duration,
         throughput_rps=len(completions) / duration,
         throughput_sps=num_samples / duration,
-        latency_p50_ms=float(np.percentile(latencies_ms, 50)),
-        latency_p95_ms=float(np.percentile(latencies_ms, 95)),
-        latency_p99_ms=float(np.percentile(latencies_ms, 99)),
-        latency_mean_ms=float(latencies_ms.mean()),
-        latency_max_ms=float(latencies_ms.max()),
+        latency_p50_ms=latency_hist.percentile(50),
+        latency_p95_ms=latency_hist.percentile(95),
+        latency_p99_ms=latency_hist.percentile(99),
+        latency_mean_ms=latency_hist.mean(),
+        latency_max_ms=latency_hist.max(),
         mean_batch_size=num_samples / max(1, len(batches)),
-        mean_occupancy=float(np.mean([b.occupancy for b in batches]))
-        if batches else 0.0,
+        mean_occupancy=(occupancy_hist.mean() if batches else 0.0),
         bucket_histogram=dict(sorted(histogram.items())),
         **channels,
     )

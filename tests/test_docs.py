@@ -18,11 +18,12 @@ import pytest
 DOCS = pathlib.Path(__file__).resolve().parent.parent / 'docs'
 
 REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md',
-                  'deployment.md')
+                  'deployment.md', 'observability.md')
 
 #: pages whose ``python`` blocks form an executable tutorial (run in order,
 #: one shared namespace per page)
-TUTORIAL_PAGES = ('serving.md', 'fleet.md', 'deployment.md')
+TUTORIAL_PAGES = ('serving.md', 'fleet.md', 'deployment.md',
+                  'observability.md')
 
 
 def python_blocks(text: str) -> list[str]:
@@ -93,6 +94,13 @@ def test_deployment_doc_snippets_run(capsys):
     """Execute every python block of docs/deployment.md, in order."""
     count = run_page_blocks('deployment.md', {})
     assert count >= 5, 'the deployment tutorial lost its code blocks'
+    capsys.readouterr()
+
+
+def test_observability_doc_snippets_run(capsys):
+    """Execute every python block of docs/observability.md, in order."""
+    count = run_page_blocks('observability.md', {})
+    assert count >= 5, 'the observability tutorial lost its code blocks'
     capsys.readouterr()
 
 
