@@ -10,19 +10,30 @@ import argparse
 import pathlib
 
 from common import wall_clock, write_bench, write_result
-from repro.experiments import (format_cache_reuse, format_tuning_cost,
-                               run_cache_reuse, run_tuning_cost)
+from repro.experiments import (format_cache_reuse,
+                               format_cost_model_trajectory,
+                               format_parallel_tuning, format_tuning_cost,
+                               run_cache_reuse, run_cost_model_trajectory,
+                               run_parallel_tuning, run_tuning_cost)
 from repro.experiments.tuning_cost import speedups
 from repro.obs import BenchResult
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: the parallel-service leg of the smoke tunes this reduced zoo (the full
+#: five-model service is the non-smoke path); the trajectory leg always
+#: covers the whole zoo — that is the acceptance claim
+SERVICE_SMOKE_MODELS = ['bert', 'gpt2', 'mobilenet_v2']
 
-def _tuning_bench(hours, reuse, wall_seconds: float) -> BenchResult:
+
+def _tuning_bench(hours, reuse, trajectory, service,
+                  wall_seconds: float) -> BenchResult:
     """Fold the smoke run into the machine-readable tuning record.
 
     ``warm_compile_seconds`` is zero in the committed baseline — the
-    cache-reuse claim — so any nonzero value fails the gate outright.
+    cache-reuse claim — so any nonzero value fails the gate outright; the
+    same goes for ``parallel_cache_identical`` (noise 0.0: the record logs
+    either match byte-for-byte or the gate fails).
     """
     result = BenchResult(area='tuning', mode='smoke')
     result.add('resnet50.hidet_tuning_hours', hours['hidet'], unit='h')
@@ -35,13 +46,34 @@ def _tuning_bench(hours, reuse, wall_seconds: float) -> BenchResult:
     result.add('resnet50.warm_compile_seconds', reuse.warm_seconds, unit='s')
     result.add('resnet50.warm_cache_misses', float(reuse.warm_misses),
                unit='count')
+    # the learned-cost-model trajectory (all simulated: exactly reproducible)
+    result.add('tuning.measurements_per_task',
+               trajectory.measurements_per_task, unit='count')
+    result.add('tuning.measurements_saved', trajectory.measurements_saved,
+               unit='x', direction='higher')
+    result.add('tuning.latency_regression_pct',
+               trajectory.worst_regression_pct, unit='%')
+    result.add('tuning.cost_model_r2', trajectory.train_r2,
+               direction='higher')
+    # the parallel tuning service
+    result.add('tuning.speedup', service.speedup, unit='x',
+               direction='higher')
+    result.add('tuning.parallel_cache_identical',
+               1.0 if service.logs_identical else 0.0, direction='higher',
+               noise=0.0)
     result.add('harness_wall_seconds', wall_seconds, unit='s',
                direction='info')
     return result
 
 
-def smoke(bench_out: str = None) -> str:
-    """One model: tuning-cost comparison plus the cold/warm cache round-trip."""
+def smoke(bench_out: str = None, _wall_override: float = None) -> str:
+    """Tuning-cost comparison, cache round-trip, cost-model trajectory over
+    the whole zoo, and the serial-vs-parallel service diff.
+
+    ``_wall_override`` pins ``harness_wall_seconds`` so the determinism
+    test can assert two runs write byte-identical bench records (every
+    other metric is simulated and exactly reproducible).
+    """
     with wall_clock() as wc:
         cost_rows = run_tuning_cost(models=['resnet50'])
         hours = cost_rows[0].hours
@@ -49,10 +81,21 @@ def smoke(bench_out: str = None) -> str:
         reuse_rows = run_cache_reuse(models=['resnet50'])
         assert reuse_rows[0].warm_seconds == 0.0
         assert abs(reuse_rows[0].warm_latency_ms - reuse_rows[0].cold_latency_ms) < 1e-9
-    path = write_bench(_tuning_bench(hours, reuse_rows[0], wc.seconds),
-                       bench_out)
+        trajectory = run_cost_model_trajectory()
+        # the tentpole acceptance: >=5x fewer measurements, <2% latency cost
+        assert trajectory.measurements_saved >= 5.0, trajectory
+        assert trajectory.worst_regression_pct < 2.0, trajectory
+        service = run_parallel_tuning(models=SERVICE_SMOKE_MODELS)
+        assert service.speedup >= 3.0, service
+        assert service.logs_identical, service
+        assert service.warm_rerun_wall_seconds == 0.0, service
+    wall = wc.seconds if _wall_override is None else _wall_override
+    path = write_bench(_tuning_bench(hours, reuse_rows[0], trajectory,
+                                     service, wall), bench_out)
     return (format_tuning_cost(cost_rows) + '\n\n'
-            + format_cache_reuse(reuse_rows) + f'\nbench json -> {path}')
+            + format_cache_reuse(reuse_rows) + '\n\n'
+            + format_cost_model_trajectory(trajectory) + '\n\n'
+            + format_parallel_tuning(service) + f'\nbench json -> {path}')
 
 
 def bench_fig17_tuning_cost(benchmark):
@@ -83,10 +126,30 @@ def bench_fig17_cache_reuse(benchmark):
     write_result('fig17_cache_reuse', format_cache_reuse(rows))
 
 
+def bench_fig17_cost_model(benchmark):
+    """Guided tuning must slash the measurement bill at ~no latency cost."""
+    report = benchmark.pedantic(run_cost_model_trajectory,
+                                rounds=1, iterations=1)
+    assert report.measurements_saved >= 5.0
+    assert report.worst_regression_pct < 2.0
+    write_result('fig17_cost_model', format_cost_model_trajectory(report))
+
+
+def bench_fig17_parallel_service(benchmark):
+    """Four workers, near-linear speedup, byte-identical record logs."""
+    report = benchmark.pedantic(run_parallel_tuning, rounds=1, iterations=1)
+    assert report.speedup >= 3.0
+    assert report.logs_identical
+    assert report.warm_rerun_wall_seconds == 0.0
+    write_result('fig17_parallel_service', format_parallel_tuning(report))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument('--smoke', action='store_true',
-                        help='one-model comparison plus cache round-trip')
+                        help='reduced run: one-model comparison, cache '
+                             'round-trip, zoo cost-model trajectory, '
+                             'three-model parallel service')
     parser.add_argument('--bench-out', default=None, metavar='PATH',
                         help='where --smoke writes BENCH_tuning.json '
                              '(default: repo-root BENCH_tuning.json, the '
@@ -100,6 +163,12 @@ def main(argv=None) -> int:
         write_result('fig17_tuning_cost', format_tuning_cost(rows))
         reuse = run_cache_reuse()
         write_result('fig17_cache_reuse', format_cache_reuse(reuse))
+        trajectory = run_cost_model_trajectory()
+        write_result('fig17_cost_model',
+                     format_cost_model_trajectory(trajectory))
+        service = run_parallel_tuning()
+        write_result('fig17_parallel_service',
+                     format_parallel_tuning(service))
     return 0
 
 

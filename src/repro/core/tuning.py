@@ -5,6 +5,16 @@ Because the space is small (~10² schedules) and input-size independent, Hidet
 Measurement here is the analytic GPU model; the simulated clock accounts for
 the compile+measure cost that Figure 17 reports (the paper's testbed
 compiles candidates in parallel on a 24-thread CPU).
+
+PR 8 adds an optional learned shortcut in the spirit of TLP / "Learning to
+Optimize Tensor Programs": pass a cost model (duck-typed — see
+:class:`repro.tune.RidgeCostModel`) and the tuner ranks the enumerated
+candidates by predicted latency, compiling and measuring only the predicted
+top-k.  The shortcut is *calibrated*: an underfit model falls back to full
+enumeration up front, and after measuring the top-k the predictions are
+checked against the measurements — a miscalibrated model escalates to
+measuring the remaining candidates, so a bad model costs wasted ranking, not
+a bad schedule.
 """
 from __future__ import annotations
 
@@ -39,6 +49,15 @@ class TuningResult:
     split_k_tried: bool = True
     #: why split-k enumeration was skipped (None when it ran or was not requested)
     split_k_disabled_reason: Optional[str] = None
+    #: candidates actually measured (== num_candidates for exhaustive tunes,
+    #: the predicted top-k for cost-model-guided ones); 0 on a tuner-cache hit
+    num_measured: int = 0
+    #: whether a calibrated cost model pruned the measurement set
+    used_cost_model: bool = False
+    #: why the cost-model shortcut was not (fully) taken: None when it was,
+    #: 'underfit: ...' when the model was not ready, 'miscalibrated: ...'
+    #: when the gate escalated to full measurement after the top-k
+    fallback_reason: Optional[str] = None
 
     @property
     def best_latency_ms(self) -> float:
@@ -56,6 +75,17 @@ class MatmulTuner:
         self.clock = clock if clock is not None else SimulatedClock()
         self.model = PerfModel(device)
         self._cache: dict[tuple, TuningResult] = {}
+        # lifetime accounting (drives the tuning.measurements_per_task bench
+        # metric and the CompileReport counters)
+        #: candidate measurements actually charged to the clock
+        self.measurements_charged = 0
+        #: problems tuned (tuner-cache hits excluded — nothing was charged)
+        self.tasks_tuned = 0
+        #: problems where a calibrated cost model pruned the measurement set
+        self.ranked_tasks = 0
+        #: problems where the cost-model shortcut fell back to full
+        #: measurement (underfit model or failed calibration gate)
+        self.fallback_tasks = 0
 
     def measure(self, m: int, n: int, k: int, sched: MatmulSchedule,
                 extra_read_bytes: float = 0.0, extra_write_bytes: float = 0.0,
@@ -66,18 +96,43 @@ class MatmulTuner:
             extra_read_bytes=extra_read_bytes, extra_write_bytes=extra_write_bytes)
         return sum(self.model.latency(s) for s in stats)
 
+    def candidates(self, m: int, n: int, k: int,
+                   space: Optional[Sequence[MatmulSchedule]] = None,
+                   try_split_k: bool = True,
+                   batch: int = 1) -> list[MatmulSchedule]:
+        """Enumerate the full candidate list for a problem, without
+        measuring: the base space plus the valid split-k variants (paper
+        §6.3.4 — batching disables split-k, see :meth:`tune`)."""
+        if space is None:
+            space = matmul_schedule_space(self.device)
+        cands = list(space)
+        if try_split_k and batch == 1:
+            factors = [f for f in split_k_candidates(m, n, k, self.device)
+                       if f != 1]
+            seen = set(cands)
+            for base in space:
+                for factor in factors:
+                    variant = replace(base, split_k=factor)
+                    if variant.is_valid(self.device) and variant not in seen:
+                        seen.add(variant)
+                        cands.append(variant)
+        return cands
+
     def tune(self, m: int, n: int, k: int,
              space: Optional[Sequence[MatmulSchedule]] = None,
              try_split_k: bool = True,
              extra_read_bytes: float = 0.0,
              extra_write_bytes: float = 0.0,
              batch: int = 1,
-             precompiled: bool = False) -> TuningResult:
-        """Find the best schedule for an ``m×n×k`` problem by full enumeration.
+             precompiled: bool = False,
+             cost_model=None) -> TuningResult:
+        """Find the best schedule for an ``m×n×k`` problem.
 
-        Results are cached per problem key; a cache hit returns an equal
-        result whose ``tuning_seconds`` is 0.0 (no clock time is charged —
-        reporting the original tuning time would double-count it).
+        By default the candidate set (base space × split-k variants) is
+        enumerated exhaustively.  Results are cached per problem key; a
+        cache hit returns an equal result whose ``tuning_seconds`` is 0.0
+        (no clock time is charged — reporting the original tuning time
+        would double-count it).
 
         ``precompiled=True`` declares that this problem family's candidate
         kernels were already compiled for another size (the hardware-centric
@@ -88,6 +143,19 @@ class MatmulTuner:
         (``split_k_candidates`` depends on ``m``); those few size-specific
         variants ride the family's compile budget rather than being
         charged separately — a deliberate approximation.
+
+        ``cost_model`` (duck-typed; see :class:`repro.tune.RidgeCostModel`)
+        enables the learned shortcut: ``cost_model.rank(...)`` orders the
+        candidates by predicted latency and only the top
+        ``cost_model.top_k`` are compiled+measured.  Two calibration guards
+        keep the shortcut honest: ``rank`` returns ``None`` while the model
+        is underfit (full enumeration, ``fallback_reason='underfit: ...'``),
+        and after measuring the top-k the mean absolute log-space error of
+        the predictions is checked against
+        ``cost_model.calibration_tolerance`` — a miss escalates to
+        measuring every remaining candidate
+        (``fallback_reason='miscalibrated: ...'``), so the chosen schedule
+        is then the exhaustive optimum.
 
         Split-k (paper §6.3.4) is only enumerated for un-batched problems:
         splitting the reduction exists to manufacture extra thread blocks
@@ -108,42 +176,75 @@ class MatmulTuner:
         # key on the *effective* flag: an explicit opt-out and a batch-forced
         # disable enumerate the identical candidate space, so they share one
         # enumeration (and one clock charge); each caller's own split-k
-        # decision metadata is restored on the way out
+        # decision metadata is restored on the way out.  Guided and
+        # exhaustive tunes key separately: a guided result is not
+        # necessarily the exhaustive optimum.
         key = (m, n, k, batch, None if space is None else tuple(space),
-               try_split_k, round(extra_read_bytes), round(extra_write_bytes))
+               try_split_k, round(extra_read_bytes), round(extra_write_bytes),
+               cost_model is not None)
         if key in self._cache:
             return replace(self._cache[key], tuning_seconds=0.0,
+                           num_measured=0,
                            split_k_tried=try_split_k,
                            split_k_disabled_reason=split_k_reason)
 
-        if space is None:
-            space = matmul_schedule_space(self.device)
         start = self.clock.elapsed_seconds
+        cands = self.candidates(m, n, k, space=space,
+                                try_split_k=try_split_k, batch=batch)
+        num_candidates = len(cands)
 
+        def measure_into(latencies, schedules):
+            for sched in schedules:
+                if sched not in latencies:
+                    latencies[sched] = self.measure(
+                        m, n, k, sched, extra_read_bytes, extra_write_bytes,
+                        batch)
+
+        used_cost_model = False
+        fallback_reason: Optional[str] = None
         latencies: dict[MatmulSchedule, float] = {}
-        for sched in space:
-            latencies[sched] = self.measure(m, n, k, sched,
-                                            extra_read_bytes, extra_write_bytes, batch)
+        ranked = None
+        if cost_model is not None:
+            ranked = cost_model.rank(m, n, k, cands, batch=batch,
+                                     extra_read_bytes=extra_read_bytes,
+                                     extra_write_bytes=extra_write_bytes)
+            if ranked is None:
+                fallback_reason = ('underfit: cost model not calibrated, '
+                                   'measuring the full candidate set')
+                self.fallback_tasks += 1
+        if ranked is not None:
+            used_cost_model = True
+            self.ranked_tasks += 1
+            if self.costs.search_overhead_seconds > 0.0:
+                self.clock.charge(f'rank matmul {m}x{n}x{k}',
+                                  self.costs.search_overhead_seconds)
+            ordered = [sched for sched, _ in ranked]
+            predicted = dict(ranked)
+            top_k = max(1, min(int(cost_model.top_k), num_candidates))
+            measure_into(latencies, ordered[:top_k])
+            # calibration gate: the predictions that chose the top-k must
+            # agree with what measurement says about those very candidates
+            err = sum(abs(math.log(latencies[s]) - math.log(predicted[s]))
+                      for s in ordered[:top_k]) / top_k
+            tolerance = float(cost_model.calibration_tolerance)
+            if err > tolerance:
+                fallback_reason = (
+                    f'miscalibrated: mean |Δlog latency| {err:.3f} > '
+                    f'{tolerance:.3f} on the measured top-{top_k}, '
+                    f'escalating to full measurement')
+                self.fallback_tasks += 1
+                measure_into(latencies, ordered[top_k:])
+        else:
+            measure_into(latencies, cands)
 
-        # parallel-k variants (paper §6.3.4): for workloads whose output grid
-        # cannot saturate the SMs, the k-split factors become an extra space
-        # dimension.  A schedule that is mediocre without split-k can be the
-        # global best with it, so the whole cross product is enumerated.
-        if try_split_k:
-            factors = [f for f in split_k_candidates(m, n, k, self.device) if f != 1]
-            for base in list(latencies):
-                for factor in factors:
-                    cand = replace(base, split_k=factor)
-                    if cand.is_valid(self.device) and cand not in latencies:
-                        latencies[cand] = self.measure(
-                            m, n, k, cand, extra_read_bytes, extra_write_bytes, batch)
-
-        num_candidates = len(latencies)
+        num_measured = len(latencies)
         if not precompiled:
-            self.clock.charge_compile_batch(self.costs, num_candidates,
+            self.clock.charge_compile_batch(self.costs, num_measured,
                                             label=f'compile matmul {m}x{n}x{k}')
-        self.clock.charge_measurements(self.costs, num_candidates,
+        self.clock.charge_measurements(self.costs, num_measured,
                                        label=f'measure matmul {m}x{n}x{k}')
+        self.measurements_charged += num_measured
+        self.tasks_tuned += 1
 
         best = min(latencies, key=lambda s: latencies[s])
         result = TuningResult(
@@ -154,6 +255,9 @@ class MatmulTuner:
             latencies=latencies,
             split_k_tried=try_split_k,
             split_k_disabled_reason=split_k_reason,
+            num_measured=num_measured,
+            used_cost_model=used_cost_model,
+            fallback_reason=fallback_reason,
         )
         self._cache[key] = result
         return result
@@ -179,6 +283,8 @@ class MatmulTuner:
                                         label=f'compile retarget {m}x{n}x{k}')
         self.clock.charge_measurements(self.costs, 1,
                                        label=f'measure retarget {m}x{n}x{k}')
+        self.measurements_charged += 1
+        self.tasks_tuned += 1
         return TuningResult(
             best_schedule=sched,
             best_latency=latency,
@@ -188,4 +294,5 @@ class MatmulTuner:
             split_k_tried=False,
             split_k_disabled_reason='adopted a foreign-device schedule '
                                     '(device-family transfer)',
+            num_measured=1,
         )

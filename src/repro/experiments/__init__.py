@@ -19,7 +19,10 @@ Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
 from .common import EXECUTOR_ORDER, all_reports, geomean, hidet_report, run_executor
 from .end_to_end import run_end_to_end, format_end_to_end
 from .tuning_cost import (run_tuning_cost, format_tuning_cost,
-                          run_cache_reuse, format_cache_reuse)
+                          run_cache_reuse, format_cache_reuse,
+                          run_cost_model_trajectory,
+                          format_cost_model_trajectory,
+                          run_parallel_tuning, format_parallel_tuning)
 from .space_size import run_space_sizes, format_space_sizes
 from .schedule_dist import run_schedule_distribution, format_schedule_distribution
 from .input_sensitivity import run_input_sensitivity, format_input_sensitivity
@@ -38,6 +41,8 @@ __all__ = [
     'run_end_to_end', 'format_end_to_end',
     'run_tuning_cost', 'format_tuning_cost',
     'run_cache_reuse', 'format_cache_reuse',
+    'run_cost_model_trajectory', 'format_cost_model_trajectory',
+    'run_parallel_tuning', 'format_parallel_tuning',
     'run_space_sizes', 'format_space_sizes',
     'run_schedule_distribution', 'format_schedule_distribution',
     'run_input_sensitivity', 'format_input_sensitivity',

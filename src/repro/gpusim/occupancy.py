@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 from .device import DeviceSpec
 
-__all__ = ['Occupancy', 'compute_occupancy']
+__all__ = ['Occupancy', 'compute_occupancy',
+           'occupancy_features', 'OCCUPANCY_FEATURE_NAMES']
 
 
 @dataclass(frozen=True)
@@ -60,3 +61,37 @@ def compute_occupancy(device: DeviceSpec, threads_per_block: int,
     resident_warps = resident_blocks * warps_per_block
     occupancy = min(1.0, resident_warps / device.max_warps_per_sm)
     return Occupancy(resident_blocks, resident_warps, occupancy, limiting)
+
+
+#: the limiter one-hot is ordered to match :attr:`Occupancy.limited_by`'s
+#: documented categories — a stable order is part of the feature contract
+#: (learned cost models persist nothing, but their determinism tests compare
+#: feature vectors across runs)
+_LIMITERS = ('threads', 'shared_memory', 'registers', 'blocks', 'launch')
+
+OCCUPANCY_FEATURE_NAMES: tuple[str, ...] = (
+    'occupancy',
+    'resident_blocks_per_sm',
+    'resident_warps_per_sm',
+) + tuple(f'limited_by_{name}' for name in _LIMITERS)
+
+
+def occupancy_features(device: DeviceSpec, threads_per_block: int,
+                       smem_bytes_per_block: int,
+                       regs_per_thread: int) -> tuple[float, ...]:
+    """Occupancy summary as a fixed-width numeric feature vector.
+
+    Returns, in the order of :data:`OCCUPANCY_FEATURE_NAMES`: the warp
+    occupancy in ``[0, 1]``, the resident block and warp counts per SM, and
+    a one-hot encoding of the limiting resource.  Learned cost models
+    (:mod:`repro.tune`) consume this — the limiter one-hot is what lets a
+    linear model discover e.g. that register-limited schedules underperform
+    on a given device without hand-crafting that interaction.
+    """
+    occ = compute_occupancy(device, threads_per_block,
+                            smem_bytes_per_block, regs_per_thread)
+    return (float(occ.occupancy),
+            float(occ.resident_blocks_per_sm),
+            float(occ.resident_warps_per_sm),
+            ) + tuple(1.0 if occ.limited_by == name else 0.0
+                      for name in _LIMITERS)

@@ -1,12 +1,14 @@
 """Runtime: the Hidet compile pipeline, compilation cache, and executables."""
-from .cache import (ScheduleCache, default_schedule_cache, task_signature,
+from .cache import (MeasurementRecord, ScheduleCache, compact_log,
+                    default_schedule_cache, task_signature,
                     task_family_signature, task_device_family_signature)
 from .compiled import CompiledOp, CompiledGraph, CompileReport
-from .executor import HidetExecutor, optimize
+from .executor import HidetExecutor, TuningProblem, optimize
 from .profiler import Measurement, benchmark
 
 __all__ = ['CompiledOp', 'CompiledGraph', 'CompileReport', 'HidetExecutor',
-           'optimize', 'ScheduleCache', 'default_schedule_cache',
+           'TuningProblem', 'optimize', 'ScheduleCache', 'MeasurementRecord',
+           'compact_log', 'default_schedule_cache',
            'task_signature', 'task_family_signature',
            'task_device_family_signature',
            'Measurement', 'benchmark']

@@ -32,9 +32,15 @@ Serving-fleet extensions (PR 2):
 * **Per-model namespaces** — entries remember which model owns them, so a
   registry can report and export per-model slices of a shared cache without
   giving up cross-model schedule sharing (the signature stays global).
-* **Merge-on-save** — :meth:`ScheduleCache.save` loads whatever is already
-  on disk and writes the union (in-memory records win conflicts), so two
-  executors sharing one cache file no longer clobber each other.
+* **Append-only record log** — :meth:`ScheduleCache.save` appends records
+  to a line-oriented log (PR 8; it previously rewrote a merged JSON file,
+  which let two concurrent savers drop each other's entries).  Replay is
+  last-record-wins, so in-memory records still win conflicts, and
+  concurrent savers *append* instead of racing a read-modify-write.
+  :func:`compact_log` rewrites a log into its canonical minimal form;
+  legacy monolithic-JSON caches are detected and migrated on the next
+  save or warm (``CACHE_FORMAT_VERSION`` is unchanged — the signatures
+  are the same, only the container changed).
 * **Size-family transfer tier** — the hardware-centric space is input-size
   independent (§4.3), so alongside the exact signature every matmul record
   is indexed by a *family* key that drops the batch-scaled sizes.  An exact
@@ -74,13 +80,20 @@ from ..ir.expr import (BinaryExpr, BlockIndex, Call, Cast, Constant, Expr,
 from ..ir.task import Task
 from ..sched.fusion import FusedTaskSpec
 
-__all__ = ['CACHE_FORMAT_VERSION', 'ScheduleCache', 'CacheEntry',
+__all__ = ['CACHE_FORMAT_VERSION', 'LOG_FORMAT_VERSION', 'ScheduleCache',
+           'CacheEntry', 'MeasurementRecord', 'compact_log',
            'task_signature', 'task_family_signature',
            'task_device_family_signature', 'fusion_fingerprint',
            'space_fingerprint', 'default_schedule_cache']
 
-#: bump when the on-disk record layout or signature recipe changes
+#: bump when the signature recipe or record *content* changes.  Baked into
+#: every signature payload, so bumping it orphans all existing records —
+#: container-level changes bump LOG_FORMAT_VERSION instead.
 CACHE_FORMAT_VERSION = 3
+
+#: version of the append-only record-log container (the JSONL file layout);
+#: independent of CACHE_FORMAT_VERSION, which identifies record content
+LOG_FORMAT_VERSION = 1
 
 Schedule = Union[MatmulSchedule, ReduceSchedule]
 
@@ -306,6 +319,55 @@ class CacheEntry:
                           device_family=data.get('device_family'))
 
 
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One (problem, schedule) → modeled-latency observation.
+
+    The raw material learned cost models (:mod:`repro.tune`) train on.
+    Tuners record every candidate they actually measure; the cache persists
+    the records alongside the schedule entries, so a warmed cache carries
+    its training set with it.
+    """
+
+    kind: str                    # 'matmul' (reduce mini-tunes are free)
+    m: int
+    n: int
+    k: int
+    batch: int
+    schedule: Schedule
+    latency: float               # modeled seconds
+    extra_read_bytes: float = 0.0
+    extra_write_bytes: float = 0.0
+
+    @property
+    def problem_key(self) -> tuple:
+        """Identity of the scheduling problem (distinct-problem counting)."""
+        return (self.kind, self.m, self.n, self.k, self.batch,
+                round(self.extra_read_bytes), round(self.extra_write_bytes))
+
+    @property
+    def key(self) -> tuple:
+        """Dedup identity: one record per (problem, schedule)."""
+        return (*self.problem_key, astuple(self.schedule))
+
+    def to_json(self) -> dict:
+        return {'kind': self.kind,
+                'problem': [self.m, self.n, self.k, self.batch],
+                'schedule': _schedule_to_dict(self.schedule),
+                'extra': [self.extra_read_bytes, self.extra_write_bytes],
+                'latency': self.latency}
+
+    @staticmethod
+    def from_json(data: dict) -> 'MeasurementRecord':
+        m, n, k, batch = data['problem']
+        extra = data.get('extra', [0.0, 0.0])
+        return MeasurementRecord(
+            kind=data['kind'], m=int(m), n=int(n), k=int(k), batch=int(batch),
+            schedule=_schedule_from_dict(data['kind'], data['schedule']),
+            latency=float(data['latency']),
+            extra_read_bytes=float(extra[0]), extra_write_bytes=float(extra[1]))
+
+
 # ---------------------------------------------------------------------------
 # the cache
 
@@ -331,6 +393,13 @@ class ScheduleCache:
         self._families: dict[str, str] = {}
         #: device-family signature → exact signature of the newest member
         self._device_families: dict[str, str] = {}
+        #: (problem, schedule) key → measurement record; training data for
+        #: learned cost models.  Exempt from max_entries (records are tiny
+        #: and eviction would silently shrink the training set)
+        self._measurements: dict[tuple, MeasurementRecord] = {}
+        #: bumped whenever a measurement is added or changed — cost models
+        #: key their lazy refits on this
+        self.measurement_version = 0
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -448,6 +517,8 @@ class ScheduleCache:
         self._entries.clear()
         self._families.clear()
         self._device_families.clear()
+        self._measurements.clear()
+        self.measurement_version = 0
         self.hits = 0
         self.misses = 0
         self.transfer_hits = 0
@@ -469,50 +540,111 @@ class ScheduleCache:
             counts[entry.namespace] = counts.get(entry.namespace, 0) + 1
         return counts
 
+    # -- measurements (cost-model training data) ---------------------------
+
+    def record_measurement(self, record: MeasurementRecord) -> bool:
+        """Store one measured (problem, schedule) → latency observation.
+
+        Keyed on (problem, schedule): re-measuring the same candidate
+        replaces the record.  Returns ``True`` when the store actually
+        changed (and :attr:`measurement_version` was bumped).
+        """
+        key = record.key
+        if self._measurements.get(key) == record:
+            return False
+        self._measurements[key] = record
+        self.measurement_version += 1
+        return True
+
+    def measurements(self) -> tuple[MeasurementRecord, ...]:
+        """All stored measurement records, in insertion order."""
+        return tuple(self._measurements.values())
+
+    @property
+    def measurement_count(self) -> int:
+        return len(self._measurements)
+
     # -- persistence -------------------------------------------------------
 
     def to_json(self, namespace: Optional[str] = None) -> dict:
-        """Serializable form; ``namespace`` restricts to one model's slice."""
+        """Serializable form; ``namespace`` restricts to one model's slice.
+
+        Measurement records ride along un-sliced: they are global training
+        data for cost models, not per-model state.
+        """
         entries = {sig: entry for sig, entry in self._entries.items()
                    if namespace is None or entry.namespace == namespace}
-        return {
+        data = {
             'version': CACHE_FORMAT_VERSION,
             'entries': {sig: entry.to_json()
                         for sig, entry in sorted(entries.items())},
         }
+        if self._measurements:
+            data['measurements'] = [
+                rec.to_json() for rec in sorted(
+                    self._measurements.values(),
+                    key=lambda r: _canonical_line(r.to_json()))]
+        return data
 
     def save(self, path: str, namespace: Optional[str] = None) -> None:
-        """Write the cache to a JSON file (atomic rename, merge-on-save).
+        """Persist this cache into the append-only record log at ``path``.
 
-        Records already in the file are preserved unless this cache holds a
-        newer record for the same signature, so executors sharing one cache
-        file union their work instead of clobbering each other.  The
-        load-merge-write sequence is not locked: it protects *interleaved*
-        savers (the common case — one save per registration), not two saves
-        racing in the same instant, which would need file locking.
-        An unreadable or version-mismatched existing file is overwritten.
+        Only records whose *effective* on-disk value differs are appended
+        (replay is last-record-wins, so an appended record overrides older
+        ones and in-memory state wins conflicts).  Because savers append
+        instead of rewriting the file, concurrent savers union their work —
+        the read-modify-write race of the old merge-on-save JSON format
+        (open since PR 1) cannot drop entries here: appends with ``O_APPEND``
+        semantics land whole lines even when interleaved.
+
+        A legacy monolithic-JSON cache file at ``path`` is migrated into log
+        form first (its records replay before this cache's, preserving the
+        memory-wins merge order).  An unreadable or version-mismatched file
+        is overwritten.  Logs grow until :func:`compact_log` rewrites them
+        canonically.
         """
-        data = self.to_json(namespace=namespace)
-        try:
-            with open(path, 'r', encoding='utf-8') as f:
-                on_disk = json.load(f)
-            if on_disk.get('version') == CACHE_FORMAT_VERSION:
-                merged = dict(on_disk.get('entries', {}))
-                merged.update(data['entries'])
-                data['entries'] = dict(sorted(merged.items()))
-        except (OSError, ValueError):
-            pass                         # no previous file, or not ours
-        tmp = f'{path}.tmp'
-        with open(tmp, 'w', encoding='utf-8') as f:
-            json.dump(data, f, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        entries = {sig: entry for sig, entry in self._entries.items()
+                   if namespace is None or entry.namespace == namespace}
+        state = None
+        if os.path.exists(path):
+            try:
+                state = _read_state(path)
+            except (OSError, ValueError):
+                state = None             # unreadable or not ours: overwrite
+        if state is None:
+            _write_log(path, entries, self._measurements)
+            return
+        disk_entries, disk_measurements, is_log = state
+        if not is_log:
+            # legacy JSON → log migration: disk records first, ours after,
+            # so last-record-wins replay preserves "memory wins conflicts"
+            merged_entries = dict(disk_entries)
+            merged_entries.update(entries)
+            merged_measurements = dict(disk_measurements)
+            merged_measurements.update(self._measurements)
+            _write_log(path, merged_entries, merged_measurements)
+            return
+        lines = []
+        for sig, entry in entries.items():
+            if disk_entries.get(sig) != entry:
+                lines.append(_canonical_line(
+                    {'op': 'put', 'sig': sig, 'entry': entry.to_json()}))
+        for key, rec in self._measurements.items():
+            if disk_measurements.get(key) != rec:
+                lines.append(_canonical_line(
+                    {'op': 'measure', 'record': rec.to_json()}))
+        if lines:
+            with open(path, 'a', encoding='utf-8') as f:
+                f.write(''.join(line + '\n' for line in lines))
 
     def merge_json(self, data: dict) -> int:
-        """Merge records from a parsed cache file.
+        """Merge records from a parsed (legacy-shaped) cache dict.
 
         Returns the number of new entries actually *retained* — with a
         ``max_entries`` cap, merged records can immediately evict each
         other, so the count is taken after the merge, not per record.
+        Measurement records under ``'measurements'`` merge too (newer wins)
+        but do not count toward the return value.
         """
         version = data.get('version')
         if version != CACHE_FORMAT_VERSION:
@@ -526,6 +658,8 @@ class ScheduleCache:
             self.put(sig, entry.kind, entry.schedule,
                      namespace=entry.namespace, family=entry.family,
                      device_family=entry.device_family)
+        for raw in data.get('measurements', ()):
+            self.record_measurement(MeasurementRecord.from_json(raw))
         return sum(1 for sig in file_entries
                    if sig in self._entries and sig not in pre_existing)
 
@@ -534,20 +668,25 @@ class ScheduleCache:
 
         The warming API of the serving registry: point it at a persisted
         cache and every previously tuned bucket compiles with zero simulated
-        tuning seconds.
+        tuning seconds.  Reads both the record-log format and legacy
+        monolithic-JSON caches.
 
-        Safe against concurrent savers: :meth:`save` publishes through an
-        atomic rename, so a reader always sees either the previous complete
-        file or the new complete file, never a torn write — which is what
-        lets a replica joining a live fleet warm from the shared cache file
-        while other replicas keep saving to it.  With ``missing_ok`` the
-        not-yet-created file (a fleet scaling up before its first save)
-        reads as an empty cache instead of raising ``FileNotFoundError``.
+        Safe against concurrent savers: savers append whole lines, and a
+        torn *trailing* line (a reader racing an in-flight append) is
+        ignored — the reader sees every record completed before its read.
+        With ``missing_ok`` the not-yet-created file (a fleet scaling up
+        before its first save) reads as an empty cache instead of raising
+        ``FileNotFoundError``.
         """
         if missing_ok and not os.path.exists(path):
             return 0
-        with open(path, 'r', encoding='utf-8') as f:
-            return self.merge_json(json.load(f))
+        entries, measurements, _ = _read_state(path)
+        data: dict = {'version': CACHE_FORMAT_VERSION,
+                      'entries': {sig: e.to_json()
+                                  for sig, e in entries.items()},
+                      'measurements': [r.to_json()
+                                       for r in measurements.values()]}
+        return self.merge_json(data)
 
     @classmethod
     def load(cls, path: str) -> 'ScheduleCache':
@@ -555,6 +694,147 @@ class ScheduleCache:
         cache = cls()
         cache.warm(path)
         return cache
+
+
+# ---------------------------------------------------------------------------
+# the append-only record log
+#
+# One JSON object per line.  The first line is a header naming the container
+# and record versions; every other line is a record: ``{"op": "put", "sig":
+# ..., "entry": {...}}`` or ``{"op": "measure", "record": {...}}``.  Replay
+# is last-record-wins, so appending a record overrides earlier ones and the
+# file never needs a read-modify-write cycle to update — which is exactly
+# what removes the concurrent-saver race of the old monolithic-JSON format.
+
+
+def _canonical_line(obj: dict) -> str:
+    """One record as its canonical byte form (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(',', ':'))
+
+
+def _log_lines(entries: dict[str, CacheEntry],
+               measurements: dict[tuple, MeasurementRecord]) -> list[str]:
+    """The canonical (compacted) log for a cache state: header, then puts
+    sorted by signature, then measurements in canonical record order.  Two
+    caches holding the same records produce byte-identical logs."""
+    lines = [_canonical_line({'log': LOG_FORMAT_VERSION,
+                              'version': CACHE_FORMAT_VERSION})]
+    for sig in sorted(entries):
+        lines.append(_canonical_line(
+            {'op': 'put', 'sig': sig, 'entry': entries[sig].to_json()}))
+    for rec in sorted(measurements.values(),
+                      key=lambda r: _canonical_line(r.to_json())):
+        lines.append(_canonical_line({'op': 'measure', 'record': rec.to_json()}))
+    return lines
+
+
+def _write_log(path: str, entries: dict[str, CacheEntry],
+               measurements: dict[tuple, MeasurementRecord]) -> None:
+    """Write a canonical log (atomic rename: readers never see a torn file)."""
+    tmp = f'{path}.tmp'
+    with open(tmp, 'w', encoding='utf-8') as f:
+        f.write(''.join(line + '\n'
+                        for line in _log_lines(entries, measurements)))
+    os.replace(tmp, path)
+
+
+def _replay_log(text: str) -> tuple[dict[str, CacheEntry],
+                                    dict[tuple, MeasurementRecord]]:
+    """Replay a log's records, last-record-wins.
+
+    A torn *trailing* line (a reader racing an in-flight append) is ignored;
+    a torn line in the middle means real corruption and raises ValueError.
+    """
+    entries: dict[str, CacheEntry] = {}
+    measurements: dict[tuple, MeasurementRecord] = {}
+    lines = text.split('\n')
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            if all(not later.strip() for later in lines[i + 1:]):
+                break                    # torn trailing append
+            raise ValueError(
+                f'corrupt schedule-cache log: unparseable line {i + 1}')
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f'corrupt schedule-cache log: line {i + 1} is not a record')
+        if 'log' in obj:                 # header (duplicates tolerated)
+            if (obj.get('log') != LOG_FORMAT_VERSION
+                    or obj.get('version') != CACHE_FORMAT_VERSION):
+                raise ValueError(
+                    f'schedule cache log version mismatch: file has '
+                    f'log={obj.get("log")!r} version={obj.get("version")!r}, '
+                    f'this build reads log={LOG_FORMAT_VERSION} '
+                    f'version={CACHE_FORMAT_VERSION}')
+            continue
+        try:
+            op = obj.get('op')
+            if op == 'put':
+                entries[obj['sig']] = CacheEntry.from_json(obj['entry'])
+            elif op == 'measure':
+                rec = MeasurementRecord.from_json(obj['record'])
+                measurements[rec.key] = rec
+            else:
+                raise KeyError(f'unknown op {op!r}')
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f'corrupt schedule-cache log record at line {i + 1}: {exc}')
+    return entries, measurements
+
+
+def _read_state(path: str) -> tuple[dict[str, CacheEntry],
+                                    dict[tuple, MeasurementRecord], bool]:
+    """Parse either on-disk format into (entries, measurements, is_log).
+
+    Sniffs the first line: a one-line JSON dict with a ``'log'`` key is a
+    record log; anything else is treated as a legacy monolithic-JSON cache.
+    Raises ``ValueError`` for corrupt content or a version mismatch in
+    either format.
+    """
+    with open(path, 'r', encoding='utf-8') as f:
+        text = f.read()
+    first = text.lstrip().split('\n', 1)[0].strip()
+    header = None
+    if first:
+        try:
+            header = json.loads(first)
+        except ValueError:
+            header = None
+    if isinstance(header, dict) and 'log' in header:
+        entries, measurements = _replay_log(text)
+        return entries, measurements, True
+    data = json.loads(text)              # ValueError on corruption
+    version = data.get('version') if isinstance(data, dict) else None
+    if version != CACHE_FORMAT_VERSION:
+        raise ValueError(
+            f'schedule cache version mismatch: file has {version!r}, '
+            f'this build reads {CACHE_FORMAT_VERSION}')
+    entries = {sig: CacheEntry.from_json(raw)
+               for sig, raw in data.get('entries', {}).items()}
+    measurements = {}
+    for raw in data.get('measurements', ()):
+        rec = MeasurementRecord.from_json(raw)
+        measurements[rec.key] = rec
+    return entries, measurements, False
+
+
+def compact_log(path: str) -> int:
+    """Rewrite the record log at ``path`` into its canonical minimal form.
+
+    Replays the log (last-record-wins), drops superseded records, and
+    rewrites header + sorted records through an atomic rename.  Two logs
+    reaching the same effective state compact to byte-identical files — the
+    property the parallel tuning service's cache-equivalence check rests
+    on.  Also migrates a legacy monolithic-JSON cache into log form.
+    Returns the number of live records kept.
+    """
+    entries, measurements, _ = _read_state(path)
+    _write_log(path, entries, measurements)
+    return len(entries) + len(measurements)
 
 
 #: process-wide cache shared by every executor that does not bring its own

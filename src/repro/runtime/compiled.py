@@ -39,6 +39,23 @@ class CompileReport:
     #: schedule — validated against the local DeviceSpec and re-measured at
     #: one compile + one measurement (the cross-device transfer tier)
     device_transfer_hits: int = 0
+    #: candidate measurements the matmul tuner charged during this compile
+    #: (the denominator games of Figure 17: a learned cost model shrinks
+    #: this without touching cache_hits)
+    measurements: int = 0
+    #: matmul problems actually tuned (tuner-cache hits excluded)
+    tuned_tasks: int = 0
+    #: tuned problems where a calibrated cost model pruned the measurement
+    #: set to its predicted top-k
+    ranked_tasks: int = 0
+    #: tuned problems where the cost-model shortcut fell back to full
+    #: measurement (underfit model, or the calibration gate tripped)
+    cost_model_fallbacks: int = 0
+
+    @property
+    def measurements_per_task(self) -> float:
+        """Mean measurements per tuned problem (0.0 when nothing tuned)."""
+        return self.measurements / self.tuned_tasks if self.tuned_tasks else 0.0
 
 
 @dataclass

@@ -27,7 +27,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..core.schedule import MatmulSchedule, ReduceSchedule
@@ -49,15 +49,47 @@ from ..sched import matmul_template
 from ..sched.fusion import apply_fusion
 from ..sched.reduce_template import build_reduce_module, is_last_axis_reduction, reduce_stats
 from ..sched.rule_based import ELEMENTWISE_BLOCK, build_rule_based_module
-from .cache import (ScheduleCache, default_schedule_cache, fusion_fingerprint,
-                    space_fingerprint, task_device_family_signature,
-                    task_family_signature, task_signature)
+from .cache import (MeasurementRecord, ScheduleCache, default_schedule_cache,
+                    fusion_fingerprint, space_fingerprint,
+                    task_device_family_signature, task_family_signature,
+                    task_signature)
 from .compiled import CompiledGraph, CompiledOp, CompileReport
 
-__all__ = ['optimize', 'HidetExecutor']
+__all__ = ['optimize', 'HidetExecutor', 'TuningProblem']
 
 #: reductions at least this deep use the block-parallel reduce template
 REDUCE_TEMPLATE_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class TuningProblem:
+    """One schedulable unit extracted from a graph, compile-free.
+
+    Everything :meth:`HidetExecutor.tune_problem` needs to tune the group
+    *without* re-running the graph passes: the three signature tiers, the
+    problem sizes, and the fused traffic.  This is the unit of work the
+    parallel tuning service (:mod:`repro.tune.service`) shards across
+    workers — the signatures are computed by the extracting executor, so a
+    cache populated through ``tune_problem`` is indistinguishable from one
+    populated by :meth:`HidetExecutor.compile`.
+    """
+
+    kind: str                    # 'matmul' | 'reduce'
+    signature: str
+    namespace: str = ''
+    #: estimated simulated tuning seconds of a cold tune (LPT sharding key)
+    weight: float = 0.0
+    # matmul problems
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    batch: int = 1
+    extra_read_bytes: float = 0.0
+    extra_write_bytes: float = 0.0
+    family: Optional[str] = None
+    device_family: Optional[str] = None
+    #: reduce problems carry their task (the mini-tune evaluates its stats)
+    task: object = None
 
 
 class HidetExecutor:
@@ -72,7 +104,9 @@ class HidetExecutor:
                  build_ir: bool = False,
                  cache: Optional[ScheduleCache] = None,
                  enable_transfer: bool = False,
-                 enable_device_transfer: bool = False):
+                 enable_device_transfer: bool = False,
+                 cost_model=None,
+                 record_measurements: Optional[bool] = None):
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
         self.space = space if space is not None else matmul_schedule_space(
@@ -117,6 +151,24 @@ class HidetExecutor:
         self._ir_cache: dict[tuple, object] = {}
         #: namespace tag applied to cache records of the current compile()
         self._namespace = ''
+        #: optional learned cost model (duck-typed; see
+        #: :class:`repro.tune.RidgeCostModel`): the matmul tuner ranks
+        #: candidates with it and measures only the predicted top-k, with
+        #: calibrated fallback to full enumeration.  Bound to this
+        #: executor's cache (its training source) unless already bound —
+        #: runtime stays ignorant of repro.tune, which sits above it.
+        self.cost_model = cost_model
+        if cost_model is not None and getattr(cost_model, 'source', None) is None:
+            cost_model.bind(self.cache)
+        #: record every measured candidate into the cache as cost-model
+        #: training data.  Defaults to on exactly when a cost model is
+        #: attached (it trains on what this executor measures); tuning
+        #: workers opt in explicitly so exhaustive seeding runs also feed
+        #: the corpus.  Off otherwise — plain compiles shouldn't grow
+        #: every saved cache file by ~200 records per tuned GEMM.
+        if record_measurements is None:
+            record_measurements = cost_model is not None
+        self.record_measurements = bool(record_measurements)
 
     # ------------------------------------------------------------------
 
@@ -128,6 +180,10 @@ class HidetExecutor:
         hits0, misses0 = self.cache.hits, self.cache.misses
         transfers0 = self.cache.transfer_hits
         device_transfers0 = self.cache.device_transfer_hits
+        measurements0 = self.tuner.measurements_charged
+        tuned0 = self.tuner.tasks_tuned
+        ranked0 = self.tuner.ranked_tasks
+        fallbacks0 = self.tuner.fallback_tasks
         self._namespace = namespace
         try:
             optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
@@ -148,7 +204,13 @@ class HidetExecutor:
                 cache_misses=self.cache.misses - misses0,
                 transfer_hits=self.cache.transfer_hits - transfers0,
                 device_transfer_hits=(self.cache.device_transfer_hits
-                                      - device_transfers0)),
+                                      - device_transfers0),
+                measurements=(self.tuner.measurements_charged
+                              - measurements0),
+                tuned_tasks=self.tuner.tasks_tuned - tuned0,
+                ranked_tasks=self.tuner.ranked_tasks - ranked0,
+                cost_model_fallbacks=(self.tuner.fallback_tasks
+                                      - fallbacks0)),
             name=name or f'hidet_{graph.name}',
         )
 
@@ -172,6 +234,67 @@ class HidetExecutor:
             compiled[bucket] = self.compile(
                 graph, name=name and f'{name}_b{bucket}', namespace=namespace)
         return compiled
+
+    # -- tuning-service protocol ---------------------------------------
+
+    def tuning_problems(self, graph: FlowGraph,
+                        namespace: str = '') -> list[TuningProblem]:
+        """Enumerate the graph's schedulable problems without tuning any.
+
+        Runs the same graph passes as :meth:`compile` (fold constants,
+        conv→GEMM, fusion partition) and extracts one
+        :class:`TuningProblem` per matmul/reduce group, deduplicated by
+        exact signature.  Rule-based groups are skipped — they have no
+        schedule to find.  The parallel tuning service shards this list
+        across workers; a later :meth:`compile` of the same graph against
+        the resulting cache is then all exact hits.
+        """
+        self._namespace = namespace
+        try:
+            optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
+            if self.enable_fusion:
+                groups = partition_graph(optimized)
+            else:
+                groups = [FusedGroup(anchor=op) for op in optimized.nodes]
+            problems: list[TuningProblem] = []
+            seen: set[str] = set()
+            for group in groups:
+                spec = build_group_spec(group)
+                task = group.anchor.task
+                if task.attrs.get('kind', '') == 'matmul':
+                    problem = self._matmul_problem(group, spec)
+                elif (is_last_axis_reduction(task)
+                        and task.attrs.get('reduce_size', 0)
+                        >= REDUCE_TEMPLATE_THRESHOLD
+                        and self._reduce_space):
+                    problem = self._reduce_problem(group, spec)
+                else:
+                    continue
+                if problem.signature in seen:
+                    continue
+                seen.add(problem.signature)
+                problems.append(problem)
+        finally:
+            self._namespace = ''
+        return problems
+
+    def tune_problem(self, problem: TuningProblem) -> float:
+        """Tune one extracted problem into this executor's cache.
+
+        Returns the simulated tuning seconds charged (0.0 on a cache hit).
+        The cache records written are identical to what :meth:`compile`
+        would write for the owning group — signatures travel *with* the
+        problem — so tuning workers and compiling executors are
+        interchangeable producers of the same cache.
+        """
+        start = self.clock.elapsed_seconds
+        if problem.kind == 'matmul':
+            self._schedule_matmul(problem)
+        elif problem.kind == 'reduce':
+            self._schedule_reduce(problem)
+        else:
+            raise ValueError(f'unknown tuning problem kind {problem.kind!r}')
+        return self.clock.elapsed_seconds - start
 
     # ------------------------------------------------------------------
 
@@ -204,90 +327,149 @@ class HidetExecutor:
                               fusion=fusion_fingerprint(spec.spec),
                               extras=extras)
 
-    def _compile_matmul_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
+    def _matmul_problem(self, group: FusedGroup, spec: GroupSpec,
+                        signature: Optional[str] = None) -> TuningProblem:
+        """Extract a matmul group's :class:`TuningProblem` (all three
+        signature tiers, sizes, fused traffic) without tuning anything."""
         task = group.anchor.task
         m, n, k = task.attrs['m'], task.attrs['n'], task.attrs['k']
         batch = task.attrs.get('batch', 1)
         extra_read, extra_write = self._fusion_traffic(spec)
+        if signature is None:
+            signature = self._group_signature(group, spec, 'matmul',
+                                              self._space_key, self.try_split_k)
+        # The family carries the fusion *structure* (which epilogue ops
+        # are fused in — that changes the compiled kernel) but not the
+        # fused tensor shapes or weight identities (those scale with the
+        # batch / distinguish q from k from v without changing the
+        # compiled program), so transfer stays honest about what was
+        # actually compiled while still working across buckets
+        fusion_structure = (
+            tuple(step.task.name for step in spec.spec.epilogue_steps),
+            len(spec.spec.prologue_defs))
+        # the *effective* split-k decision (batch>1 disables it, §6.3.4)
+        # is part of the family: a family tuned without split-k variants
+        # must not grant compile-free status to a problem that will
+        # enumerate the split-k cross product
+        family = task_family_signature(task, self.device,
+                                       extras=('matmul', self._space_key,
+                                               self.try_split_k and batch == 1,
+                                               fusion_structure))
+        # the device-family key additionally drops the device spec (and
+        # with it the device-derived space key): records become visible
+        # to launch-compatible foreign devices, which re-validate and
+        # re-measure them locally rather than trusting them blind
+        device_family = task_device_family_signature(
+            task, self.device,
+            extras=('matmul', self.try_split_k and batch == 1,
+                    fusion_structure))
+        # LPT sharding weight: an upper bound on the cold-tune bill from the
+        # candidate *count* alone (base space plus split-k variants, before
+        # validity filtering) — cheap enough to compute on the compile hot
+        # path, and a consistent over-estimate keeps the shard order stable
+        num_factors = 0
+        if self.try_split_k and batch == 1:
+            num_factors = sum(1 for f in split_k_candidates(m, n, k, self.device)
+                              if f > 1)
+        num_candidates = len(self.space) * (1 + num_factors)
+        costs = self.tuner.costs
+        weight = (math.ceil(num_candidates
+                            / max(1, costs.parallel_compile_workers))
+                  * costs.compile_seconds
+                  + num_candidates * costs.measure_seconds)
+        return TuningProblem(
+            kind='matmul', signature=signature, namespace=self._namespace,
+            weight=weight, m=m, n=n, k=k, batch=batch,
+            extra_read_bytes=extra_read, extra_write_bytes=extra_write,
+            family=family, device_family=device_family)
+
+    def _schedule_matmul(self, p: TuningProblem, *,
+                         skip_lookup: bool = False) -> MatmulSchedule:
+        """Resolve a matmul problem to its schedule: cache tiers first, then
+        tune (cost-model-guided when one is configured); every candidate the
+        tuner actually measured is recorded into the cache as cost-model
+        training data, and the winning schedule is stored under all tiers.
+
+        ``skip_lookup`` is for callers that already took (and counted) the
+        exact-tier miss — a second ``cache.get`` here would double-count it.
+        """
+        if not skip_lookup:
+            sched = self.cache.get(p.signature, kind='matmul')
+            if sched is not None:
+                return sched
+        # a family hit means this GEMM's candidate kernels were already
+        # compiled at another batch size; the hardware-centric space is
+        # input-size independent (§4.3), so tuning this size re-measures
+        # the same candidates without recompiling them — the schedule is
+        # still the true optimum for this problem
+        precompiled = (self.enable_transfer and
+                       self.cache.get_transfer(p.family, kind='matmul')
+                       is not None)
+        foreign = None
+        if not precompiled and self.enable_device_transfer:
+            # loosest tier: a launch-compatible device tuned this GEMM.
+            # The adopted schedule must (a) lie inside this executor's
+            # own space (modulo split-k, which is derived per problem) —
+            # restricted ablation spaces must not adopt records their
+            # space excludes; (b) launch on the *local* device (a
+            # big-smem A100 tile may not); (c) carry split-k only when
+            # the local tune of this problem would enumerate that very
+            # factor — split_k_candidates gates on the local SM count,
+            # and adopting a factor the local space never saw could
+            # "beat" the local optimum, breaking cost accounting
+            foreign = self.cache.get_device_transfer(
+                p.device_family, kind='matmul',
+                validate=lambda s: (
+                    replace(s, split_k=1) in self._space_base
+                    and s.is_valid(self.device)
+                    and (s.split_k == 1
+                         or (self.try_split_k and p.batch == 1
+                             and s.split_k in split_k_candidates(
+                                 p.m, p.n, p.k, self.device)))))
+        family = p.family
+        if foreign is not None:
+            result = self.tuner.retarget(p.m, p.n, p.k, foreign,
+                                         extra_read_bytes=p.extra_read_bytes,
+                                         extra_write_bytes=p.extra_write_bytes,
+                                         batch=p.batch)
+            # the size-family tier asserts "this family's candidates are
+            # compiled locally" — false after a one-kernel retarget, so
+            # the adopted record must not join it (later sizes re-adopt
+            # through the device tier at one compile + one measure each)
+            family = None
+        else:
+            result = self.tuner.tune(p.m, p.n, p.k, space=self.space,
+                                     try_split_k=self.try_split_k,
+                                     extra_read_bytes=p.extra_read_bytes,
+                                     extra_write_bytes=p.extra_write_bytes,
+                                     batch=p.batch, precompiled=precompiled,
+                                     cost_model=self.cost_model)
+        for cand, latency in (result.latencies.items()
+                              if self.record_measurements else ()):
+            self.cache.record_measurement(MeasurementRecord(
+                kind='matmul', m=p.m, n=p.n, k=p.k, batch=p.batch,
+                schedule=cand, latency=latency,
+                extra_read_bytes=p.extra_read_bytes,
+                extra_write_bytes=p.extra_write_bytes))
+        self.cache.put(p.signature, 'matmul', result.best_schedule,
+                       namespace=p.namespace, family=family,
+                       device_family=p.device_family)
+        return result.best_schedule
+
+    def _compile_matmul_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
+        task = group.anchor.task
+        m, n, k = task.attrs['m'], task.attrs['n'], task.attrs['k']
+        batch = task.attrs.get('batch', 1)
         signature = self._group_signature(group, spec, 'matmul',
                                           self._space_key, self.try_split_k)
+        extra_read, extra_write = self._fusion_traffic(spec)
+        # warm compiles are the serving hot path: resolve the exact tier
+        # before paying for the family/device-family signatures a hit
+        # never consults
         sched = self.cache.get(signature, kind='matmul')
         if sched is None:
-            # only misses need the family key (transfer lookup / put index).
-            # The family carries the fusion *structure* (which epilogue ops
-            # are fused in — that changes the compiled kernel) but not the
-            # fused tensor shapes or weight identities (those scale with the
-            # batch / distinguish q from k from v without changing the
-            # compiled program), so transfer stays honest about what was
-            # actually compiled while still working across buckets
-            fusion_structure = (
-                tuple(step.task.name for step in spec.spec.epilogue_steps),
-                len(spec.spec.prologue_defs))
-            # the *effective* split-k decision (batch>1 disables it, §6.3.4)
-            # is part of the family: a family tuned without split-k variants
-            # must not grant compile-free status to a problem that will
-            # enumerate the split-k cross product
-            family = task_family_signature(task, self.device,
-                                           extras=('matmul', self._space_key,
-                                                   self.try_split_k and batch == 1,
-                                                   fusion_structure))
-            # the device-family key additionally drops the device spec (and
-            # with it the device-derived space key): records become visible
-            # to launch-compatible foreign devices, which re-validate and
-            # re-measure them locally rather than trusting them blind
-            device_family = task_device_family_signature(
-                task, self.device,
-                extras=('matmul', self.try_split_k and batch == 1,
-                        fusion_structure))
-            # a family hit means this GEMM's candidate kernels were already
-            # compiled at another batch size; the hardware-centric space is
-            # input-size independent (§4.3), so tuning this size re-measures
-            # the same candidates without recompiling them — the schedule is
-            # still the true optimum for this problem
-            precompiled = (self.enable_transfer and
-                           self.cache.get_transfer(family, kind='matmul')
-                           is not None)
-            foreign = None
-            if not precompiled and self.enable_device_transfer:
-                # loosest tier: a launch-compatible device tuned this GEMM.
-                # The adopted schedule must (a) lie inside this executor's
-                # own space (modulo split-k, which is derived per problem) —
-                # restricted ablation spaces must not adopt records their
-                # space excludes; (b) launch on the *local* device (a
-                # big-smem A100 tile may not); (c) carry split-k only when
-                # the local tune of this problem would enumerate that very
-                # factor — split_k_candidates gates on the local SM count,
-                # and adopting a factor the local space never saw could
-                # "beat" the local optimum, breaking cost accounting
-                foreign = self.cache.get_device_transfer(
-                    device_family, kind='matmul',
-                    validate=lambda s: (
-                        replace(s, split_k=1) in self._space_base
-                        and s.is_valid(self.device)
-                        and (s.split_k == 1
-                             or (self.try_split_k and batch == 1
-                                 and s.split_k in split_k_candidates(
-                                     m, n, k, self.device)))))
-            if foreign is not None:
-                result = self.tuner.retarget(m, n, k, foreign,
-                                             extra_read_bytes=extra_read,
-                                             extra_write_bytes=extra_write,
-                                             batch=batch)
-                # the size-family tier asserts "this family's candidates are
-                # compiled locally" — false after a one-kernel retarget, so
-                # the adopted record must not join it (later sizes re-adopt
-                # through the device tier at one compile + one measure each)
-                family = None
-            else:
-                result = self.tuner.tune(m, n, k, space=self.space,
-                                         try_split_k=self.try_split_k,
-                                         extra_read_bytes=extra_read,
-                                         extra_write_bytes=extra_write,
-                                         batch=batch, precompiled=precompiled)
-            sched = result.best_schedule
-            self.cache.put(signature, 'matmul', sched,
-                           namespace=self._namespace, family=family,
-                           device_family=device_family)
+            problem = self._matmul_problem(group, spec, signature=signature)
+            sched = self._schedule_matmul(problem, skip_lookup=True)
         stats = matmul_template.matmul_stats(
             m, n, k, sched, name=group.name, batch=batch,
             extra_read_bytes=extra_read, extra_write_bytes=extra_write)
@@ -326,6 +508,33 @@ class HidetExecutor:
                              name=group.name)
         return fused.module
 
+    def _reduce_problem(self, group: FusedGroup, spec: GroupSpec) -> TuningProblem:
+        """A reduce group's :class:`TuningProblem` (mini-tune unit).
+
+        The reduce mini-tune charges no simulated clock time, so its weight
+        is zero — it still ships to a worker so the resulting cache is
+        complete."""
+        return TuningProblem(
+            kind='reduce',
+            signature=self._group_signature(group, spec, 'reduce'),
+            namespace=self._namespace, weight=0.0, task=group.anchor.task)
+
+    def _schedule_reduce(self, p: TuningProblem) -> ReduceSchedule:
+        """Resolve a reduce problem: cache first, else the analytic
+        mini-tune over the device's reduce space."""
+        best_sched = self.cache.get(p.signature, kind='reduce')
+        if best_sched is None:
+            # mini-tune over the reduce space with the analytic model
+            best_latency = math.inf
+            for sched in self._reduce_space:
+                latency = sum(self.model.latency(s)
+                              for s in reduce_stats(p.task, sched))
+                if latency < best_latency:
+                    best_sched, best_latency = sched, latency
+            self.cache.put(p.signature, 'reduce', best_sched,
+                           namespace=p.namespace)
+        return best_sched
+
     def _compile_reduce_group(self, group: FusedGroup, spec: GroupSpec) -> CompiledOp:
         task = group.anchor.task
         space = self._reduce_space
@@ -335,18 +544,9 @@ class HidetExecutor:
             # so the permanent fallback does not count a miss every compile
             # (a warm compile must report zero misses)
             return self._compile_rule_based_group(group, spec)
-        signature = self._group_signature(group, spec, 'reduce')
-        best_sched = self.cache.get(signature, kind='reduce')
-        if best_sched is None:
-            # mini-tune over the reduce space with the analytic model
-            best_latency = math.inf
-            for sched in space:
-                latency = sum(self.model.latency(s)
-                              for s in reduce_stats(task, sched, name=group.name))
-                if latency < best_latency:
-                    best_sched, best_latency = sched, latency
-            self.cache.put(signature, 'reduce', best_sched,
-                           namespace=self._namespace)
+        problem = self._reduce_problem(group, spec)
+        signature = problem.signature
+        best_sched = self._schedule_reduce(problem)
         stats = reduce_stats(task, best_sched, name=group.name)
         stats = [self._adjust_fused_stats(s, spec) for s in stats]
         latency = sum(self.model.latency(s) for s in stats)

@@ -377,11 +377,20 @@ class CacheSpec:
 
     ``warm_from`` is the persisted cache file replicas (including mid-run
     joins) warm from; ``save_to`` persists every built replica's cache
-    after the pre-trace compile (merge-on-save), turning a deployment into
-    a donor for the next one; ``max_entries`` LRU-bounds each replica's
-    cache.  The transfer flags mirror :class:`~repro.serve.fleet.Fleet`:
-    ``enable_device_transfer=None`` means "on exactly when ``warm_from``
-    is given".
+    after the pre-trace compile (append-only record log), turning a
+    deployment into a donor for the next one; ``max_entries`` LRU-bounds
+    each replica's cache.  The transfer flags mirror
+    :class:`~repro.serve.fleet.Fleet`: ``enable_device_transfer=None``
+    means "on exactly when ``warm_from`` is given".
+
+    ``cost_model`` gives every replica registry a learned
+    :class:`~repro.tune.RidgeCostModel` over its cache's measurement
+    records (predicted top-k measurement with calibrated fallback).
+    ``tuning_workers > 1`` pre-tunes the deployment's models through the
+    parallel tuning service (:func:`repro.tune.run_tuning_service`) before
+    the fleet boots: the workers share ``warm_from`` as their record log —
+    which is therefore required — and every replica then warms from it,
+    compiling all-hits.
     """
 
     warm_from: Optional[str] = None
@@ -389,6 +398,8 @@ class CacheSpec:
     max_entries: Optional[int] = None
     enable_transfer: bool = True
     enable_device_transfer: Optional[bool] = None
+    cost_model: bool = False
+    tuning_workers: int = 1
 
 
 _NODE_FIELD_TYPES.update({
@@ -407,7 +418,8 @@ _NODE_FIELD_TYPES.update({
                   'span': _OPT_NUM, 'seed': int, 'mttr': _OPT_NUM},
     CacheSpec: {'warm_from': (str, type(None)), 'save_to': (str, type(None)),
                 'max_entries': (int, type(None)), 'enable_transfer': bool,
-                'enable_device_transfer': (bool, type(None))},
+                'enable_device_transfer': (bool, type(None)),
+                'cost_model': bool, 'tuning_workers': int},
 })
 
 
@@ -558,6 +570,15 @@ class DeploymentSpec:
             raise SpecValidationError(
                 'cache.max_entries',
                 f'must be >= 1 when given, got {self.cache.max_entries}')
+        if self.cache.tuning_workers < 1:
+            raise SpecValidationError(
+                'cache.tuning_workers',
+                f'must be >= 1, got {self.cache.tuning_workers}')
+        if self.cache.tuning_workers > 1 and self.cache.warm_from is None:
+            raise SpecValidationError(
+                'cache.tuning_workers',
+                'parallel pre-tuning needs cache.warm_from: the workers '
+                'share it as their record log and replicas warm from it')
         return self
 
     def _validate_memory_budget(self) -> None:
@@ -849,6 +870,35 @@ class Deployment:
             return lambda b: for_batch(name, b, **config)
         return None                      # registry default: plain zoo model
 
+    def _pretune(self, devices: Sequence[DeviceSpec]) -> None:
+        """Pre-warm ``cache.warm_from`` with the parallel tuning service.
+
+        Runs once per distinct device kind before the fleet stands up, so
+        every replica's warm-up becomes a pure cache replay — the tuning
+        bill is paid by ``cache.tuning_workers`` simulated workers sharing
+        the record log instead of serially by the first replica to compile.
+        """
+        from ..models import for_batch
+        from ..tune import RidgeCostModel, run_tuning_service
+        cache = self.spec.cache
+        for device in dict.fromkeys(devices):
+            named_graphs = []
+            for model in self.spec.models:
+                builder = self._builder_for(model)
+                if builder is None:
+                    builder = (lambda b, _n=model.name: for_batch(_n, b))
+                ladder = (model.buckets if model.buckets is not None
+                          else bucket_ladder(model.max_batch))
+                for bucket in ladder:
+                    named_graphs.append((model.name, builder(bucket)))
+            factory = ((lambda _d=device: RidgeCostModel(_d))
+                       if cache.cost_model else None)
+            run_tuning_service(named_graphs, device=device,
+                               num_workers=cache.tuning_workers,
+                               log_path=cache.warm_from,
+                               cost_model_factory=factory,
+                               record_measurements=cache.cost_model)
+
     def build(self) -> 'Deployment':
         """Stand the stack up (idempotent until the next lifecycle run)."""
         if self.simulator is not None:
@@ -863,8 +913,11 @@ class Deployment:
                 device = dataclasses.replace(device,
                                              memory_bytes=group.memory_bytes)
             devices.extend([device] * group.count)
+        if cache.tuning_workers > 1:
+            self._pretune(devices)
         fleet = Fleet(devices, placement=spec.placement.build(),
                       warm_from=cache.warm_from,
+                      cost_model=cache.cost_model,
                       enable_transfer=cache.enable_transfer,
                       enable_device_transfer=cache.enable_device_transfer,
                       max_cache_entries=cache.max_entries)

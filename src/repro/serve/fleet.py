@@ -148,6 +148,9 @@ class Fleet:
             to on exactly when ``warm_from`` is given (that is what foreign
             records are for); pass an explicit bool to override.
         max_cache_entries: optional per-replica schedule-cache LRU bound.
+        cost_model: give every replica registry a learned cost model
+            (:class:`~repro.tune.RidgeCostModel`) trained on its own cache's
+            measurement records — see :class:`ModelRegistry`.
     """
 
     def __init__(self, devices: Sequence[DeviceSpec],
@@ -155,7 +158,8 @@ class Fleet:
                  warm_from: Optional[str] = None,
                  enable_transfer: bool = True,
                  enable_device_transfer: Optional[bool] = None,
-                 max_cache_entries: Optional[int] = None):
+                 max_cache_entries: Optional[int] = None,
+                 cost_model: bool = False):
         if not devices:
             raise ValueError('a fleet needs at least one replica device')
         self.devices = tuple(devices)
@@ -166,6 +170,8 @@ class Fleet:
                                        if enable_device_transfer is None
                                        else enable_device_transfer)
         self.max_cache_entries = max_cache_entries
+        #: per-replica learned cost models (see ModelRegistry.cost_model)
+        self.cost_model = cost_model
         self._specs: dict[str, _ModelSpec] = {}
         #: model name -> DRAM bytes its registration reserves (lazy cache)
         self._footprints: dict[str, int] = {}
@@ -237,6 +243,7 @@ class Fleet:
             device=device, cache=cache,
             enable_transfer=self.enable_transfer,
             enable_device_transfer=self.enable_device_transfer,
+            cost_model=self.cost_model,
             memory=MemoryModel(device.memory_bytes, label=label))
 
     def _register_on(self, registry: ModelRegistry, name: str) -> None:

@@ -128,6 +128,11 @@ class ModelRegistry:
             launch-compatible foreign record after validating it against
             ``device`` and re-measuring locally; off by default, enabled by
             fleets warming replicas from a foreign cache.
+        cost_model: when true, tune through a learned
+            :class:`~repro.tune.RidgeCostModel` trained on this registry's
+            accumulated measurement records — candidate sets shrink to the
+            predicted top-k once the model calibrates (with automatic
+            fallback to exhaustive measurement before then).
         memory: optional :class:`~repro.serve.memory.MemoryModel` tracking
             this registry's DRAM.  When set, every registration commits its
             footprint (measured from the graphs, or declared via
@@ -149,6 +154,7 @@ class ModelRegistry:
                  max_cache_entries: Optional[int] = None,
                  enable_transfer: bool = True,
                  enable_device_transfer: bool = False,
+                 cost_model: bool = False,
                  memory: Optional[MemoryModel] = None):
         self.device = device
         self.memory = memory
@@ -169,10 +175,19 @@ class ModelRegistry:
                 # cache file must never keep a fleet node from booting
                 pass
         self.clock = SimulatedClock()
+        #: optional learned cost model (PR 8): ranks each tuning task's
+        #: candidates and measures only the predicted top-k, training on
+        #: the measurement records this registry's cache accumulates —
+        #: including warmed-in records from previous deployments' logs
+        self.cost_model = None
+        if cost_model:
+            from ..tune import RidgeCostModel
+            self.cost_model = RidgeCostModel(device).bind(self.cache)
         self.executor = HidetExecutor(
             device, clock=self.clock, cache=self.cache,
             enable_transfer=enable_transfer,
-            enable_device_transfer=enable_device_transfer)
+            enable_device_transfer=enable_device_transfer,
+            cost_model=self.cost_model)
         self.models: dict[str, RegisteredModel] = {}
 
     # -- registration ----------------------------------------------------------

@@ -32,6 +32,10 @@ BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob('bench_*.py'))
 DEFAULT_SMOKE_BUDGET_SECONDS = 60.0
 SMOKE_BUDGET_SECONDS = {
     'bench_serving': 10.0,
+    # the tuning smoke compiles the whole zoo twice (guided vs exhaustive —
+    # the cost-model acceptance claim covers every model) plus three
+    # tuning-service runs; ~2.5 minutes of honest work, budgeted at 2x
+    'bench_fig17_tuning_cost': 300.0,
 }
 
 

@@ -18,12 +18,12 @@ import pytest
 DOCS = pathlib.Path(__file__).resolve().parent.parent / 'docs'
 
 REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md',
-                  'deployment.md', 'observability.md')
+                  'deployment.md', 'observability.md', 'tuning.md')
 
 #: pages whose ``python`` blocks form an executable tutorial (run in order,
 #: one shared namespace per page)
 TUTORIAL_PAGES = ('serving.md', 'fleet.md', 'deployment.md',
-                  'observability.md')
+                  'observability.md', 'tuning.md')
 
 
 def python_blocks(text: str) -> list[str]:
@@ -101,6 +101,13 @@ def test_observability_doc_snippets_run(capsys):
     """Execute every python block of docs/observability.md, in order."""
     count = run_page_blocks('observability.md', {})
     assert count >= 5, 'the observability tutorial lost its code blocks'
+    capsys.readouterr()
+
+
+def test_tuning_doc_snippets_run(capsys):
+    """Execute every python block of docs/tuning.md, in order."""
+    count = run_page_blocks('tuning.md', {})
+    assert count >= 5, 'the tuning tutorial lost its code blocks'
     capsys.readouterr()
 
 
