@@ -12,8 +12,14 @@ DRAM-aware placement serving the same p99 SLO on strictly fewer replicas
 than memory-blind least-loaded, with failover re-homing that never
 overflows a survivor's memory.
 
-Also runnable as a script:
-``python bench_serving.py [--smoke] [--fleet] [--lifecycle] [--packing]``
+With ``--decode`` the autoregressive story: iteration-level (continuous)
+batching beating request-level batching on token throughput at
+equal-or-better p99 over a mixed-length GPT-2 trace, and KV-cache
+reservation admission holding the decode p99 SLO at a tight budget where
+unbounded admission swap-thrashes through it.
+
+Also runnable as a script: ``python bench_serving.py [--smoke] [--fleet]
+[--lifecycle] [--packing] [--decode]``
 — ``--smoke``
 replays a reduced trace over scaled-down model shapes, and combines with
 either fleet flag to run the reduced experiments; each path finishes in
@@ -33,7 +39,8 @@ import subprocess
 import sys
 
 from common import wall_clock, write_bench, write_result
-from repro.experiments.serving import (format_qps_sweep, format_serving,
+from repro.experiments.serving import (format_decode_report, format_qps_sweep,
+                                       format_serving, run_decode_serving,
                                        run_qps_sweep, run_serving)
 from repro.obs import BenchResult, Telemetry
 from repro.experiments.fleet import (format_device_transfer, format_fleet_sizing,
@@ -90,6 +97,36 @@ def _check(report):
     assert report.dynamic.cache_hit_rate > 0.0
 
 
+def _check_decode(report):
+    # the acceptance claims of the continuous-batching decode subsystem.
+    # claim 1: iteration-level batching beats request-level batching on
+    # token throughput at equal-or-better p99, same trace, same load
+    assert report.throughput_gain > 1.0, (
+        f'continuous batching must beat request-level batching on token '
+        f'throughput, got {report.throughput_gain:.2f}x')
+    assert (report.continuous.latency_p99_ms
+            <= report.request_level.latency_p99_ms), (
+        f'continuous batching must not pay for its throughput with tail '
+        f'latency: p99 {report.continuous.latency_p99_ms:.1f} ms vs '
+        f'request-level {report.request_level.latency_p99_ms:.1f} ms')
+    # claim 2: at a tight KV budget, reservation admission holds the decode
+    # SLO where unbounded admission swap-thrashes through it
+    assert report.reserve.kv_overflow_steps == 0, (
+        'reservation admission must never commit past capacity')
+    assert report.reserve.peak_kv_utilization <= 1.0 + 1e-9
+    assert report.reserve.latency_p99_ms <= report.slo_p99_ms, (
+        f'reserve admission must hold the decode SLO, got p99 '
+        f'{report.reserve.latency_p99_ms:.1f} ms vs SLO '
+        f'{report.slo_p99_ms:.1f} ms')
+    assert report.unbounded.latency_p99_ms > report.slo_p99_ms, (
+        f'the unbounded ablation must violate the SLO (else the tight '
+        f'budget is not tight), got p99 '
+        f'{report.unbounded.latency_p99_ms:.1f} ms vs SLO '
+        f'{report.slo_p99_ms:.1f} ms')
+    assert report.unbounded.kv_overflow_steps > 0, (
+        'the unbounded ablation must actually overflow')
+
+
 def _check_fleet(placement, transfer, sizing):
     # the acceptance claims of the fleet subsystem
     assert (placement.model_affine.cache_hit_rate
@@ -137,6 +174,13 @@ def bench_serving_qps_curve(benchmark):
     p99 = [p.p99_ms for p in points]
     assert p99[-1] > 2 * p99[0]      # the hockey stick bends the right way
     write_result('serving_qps_curve', format_qps_sweep(points))
+
+
+def bench_serving_decode(benchmark):
+    """Decode acceptance: continuous batching and KV admission at full size."""
+    report = benchmark.pedantic(run_decode_serving, rounds=1, iterations=1)
+    _check_decode(report)
+    write_result('serving_decode', format_decode_report(report))
 
 
 def _run_fleet(smoke: bool) -> str:
@@ -289,6 +333,90 @@ def _serving_bench(report, telemetry: Telemetry,
     return result
 
 
+def _decode_metrics(result: BenchResult, report, telemetry: Telemetry) -> None:
+    """Fold one decode smoke run into ``decode.*`` metrics on ``result``.
+
+    Deterministic on purpose — no wall-clock in here — so the seeded-
+    determinism test can byte-compare two records of the same seed + spec.
+    The headline gates: continuous throughput and gain must not sag
+    (``'higher'``), continuous and reserve p99 must not grow (``'lower'``),
+    and reserve overflow steps are 0 in the baseline, so *any* overflow
+    regresses.  The ablation sides (request-level throughput, unbounded
+    p99) are ``'info'``: them getting worse is not a regression of the
+    system under test.
+    """
+    result.add('decode.continuous_tokens_per_second',
+               report.continuous.tokens_per_second, unit='tok/s',
+               direction='higher')
+    result.add('decode.request_level_tokens_per_second',
+               report.request_level.tokens_per_second, unit='tok/s',
+               direction='info')
+    result.add('decode.throughput_gain', report.throughput_gain, unit='x',
+               direction='higher')
+    result.add('decode.continuous_p99_ms', report.continuous.latency_p99_ms,
+               unit='ms')
+    result.add('decode.request_level_p99_ms',
+               report.request_level.latency_p99_ms, unit='ms',
+               direction='info')
+    result.add('decode.mean_width', report.continuous.mean_decode_width,
+               direction='higher')
+    result.add('decode.reserve_p99_ms', report.reserve.latency_p99_ms,
+               unit='ms')
+    result.add('decode.reserve_kv_overflow_steps',
+               float(report.reserve.kv_overflow_steps), unit='steps')
+    result.add('decode.unbounded_p99_ms', report.unbounded.latency_p99_ms,
+               unit='ms', direction='info')
+    result.add('decode.unbounded_kv_overflow_steps',
+               float(report.unbounded.kv_overflow_steps), unit='steps',
+               direction='info')
+    result.add('decode.slo_p99_ms', report.slo_p99_ms, unit='ms',
+               direction='info')
+    tokens = telemetry.tracer.token_counts()
+    result.add('decode.spans.tokens_completed', float(tokens['complete']),
+               unit='tok', direction='higher')
+
+
+def _run_decode_smoke(telemetry: Telemetry):
+    """One checked + reconciled decode smoke run over ``telemetry``."""
+    report = run_decode_serving(smoke=True, telemetry=telemetry)
+    _check_decode(report)
+    # the span ledger and the folded stats agree down to the token: every
+    # generated token is attributed to a completed or a lost request span
+    telemetry.tracer.assert_invariants()
+    counts = telemetry.tracer.terminal_counts()
+    tokens = telemetry.tracer.token_counts()
+    assert counts['open'] == 0
+    assert counts['complete'] == report.continuous.num_requests
+    assert (tokens['complete'] + tokens['lost']
+            == report.continuous.num_decode_tokens)
+    return report
+
+
+def decode_smoke(bench_out: str = None, trace_out: str = None) -> str:
+    """Reduced decode run (scaled-down GPT-2, 400-request mixed trace).
+
+    Asserts both headline claims (continuous > request-level at
+    equal-or-better p99; reserve admission holds the SLO the unbounded
+    ablation violates), reconciles the token ledger, and — when
+    ``bench_out`` is given — writes the ``decode.*``-only record.  The
+    record and the optional ``trace_out`` Chrome trace are byte-
+    deterministic for a fixed seed + spec.
+    """
+    _validate_example_spec()
+    telemetry = Telemetry()
+    with wall_clock() as wc:
+        report = _run_decode_smoke(telemetry)
+    text = format_decode_report(report)
+    if bench_out is not None:
+        result = BenchResult(area='serving', mode='decode-smoke')
+        _decode_metrics(result, report, telemetry)
+        path = write_bench(result, bench_out)
+        text += f'\nbench json -> {path}'
+    if trace_out is not None:
+        telemetry.write_chrome_trace(trace_out)
+    return text + f'\n(decode smoke wall clock: {wc.seconds:.1f}s)'
+
+
 def smoke(bench_out: str = None, trace_out: str = None) -> str:
     """Reduced serving run (scaled-down models, 200-request trace).
 
@@ -312,11 +440,21 @@ def smoke(bench_out: str = None, trace_out: str = None) -> str:
     assert counts['complete'] == report.dynamic.num_requests
     assert counts['reject'] == report.dynamic.num_rejected
     assert counts['lost'] == report.dynamic.num_lost_to_failure
-    path = write_bench(_serving_bench(report, telemetry, wc.seconds),
-                       bench_out)
+    # the decode story rides in the same record: one BENCH_serving.json
+    # carries both the request-level dynamic metrics and the decode.*
+    # continuous-batching metrics, so one compare gates both
+    decode_telemetry = Telemetry()
+    with wall_clock() as decode_wc:
+        decode_report = _run_decode_smoke(decode_telemetry)
+    result = _serving_bench(report, telemetry,
+                            wc.seconds + decode_wc.seconds)
+    _decode_metrics(result, decode_report, decode_telemetry)
+    path = write_bench(result, bench_out)
     if trace_out is not None:
         telemetry.write_chrome_trace(trace_out)
-    return format_serving(report) + f'\nbench json -> {path}'
+    return (format_serving(report) + '\n\n'
+            + format_decode_report(decode_report)
+            + f'\nbench json -> {path}')
 
 
 def fleet_smoke() -> str:
@@ -348,6 +486,11 @@ def main(argv=None) -> int:
                              'experiments')
     parser.add_argument('--packing', action='store_true',
                         help='run the memory-aware packing experiment')
+    parser.add_argument('--decode', action='store_true',
+                        help='run the continuous-batching decode experiment '
+                             '(with --smoke: asserts both headline claims '
+                             'in <10s and can emit a byte-deterministic '
+                             'decode record via --bench-out)')
     parser.add_argument('--bench-out', default=None, metavar='PATH',
                         help='where --smoke writes BENCH_serving.json '
                              '(default: repo-root BENCH_serving.json, the '
@@ -356,6 +499,17 @@ def main(argv=None) -> int:
                         help='with --smoke, export the dynamic run as '
                              'Chrome trace-event JSON (open in Perfetto)')
     args = parser.parse_args(argv)
+    if args.decode:
+        if args.smoke:
+            print(decode_smoke(bench_out=args.bench_out,
+                               trace_out=args.trace_out))
+        else:
+            report = run_decode_serving()
+            _check_decode(report)
+            text = format_decode_report(report)
+            write_result('serving_decode', text)
+            print(text)
+        return 0
     if args.fleet or args.lifecycle or args.packing:
         # the experiment families compose: --fleet --lifecycle --packing
         # runs all three (the *_smoke entries also gate on the example

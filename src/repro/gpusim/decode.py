@@ -1,0 +1,128 @@
+"""Prefill-vs-decode latency split for autoregressive serving.
+
+The serve-time latency model (:class:`~repro.runtime.compiled.CompiledGraph`
+latencies per compiled batch bucket) prices one *full-sequence* forward
+pass: ``bucket_latency[b]`` is the modeled seconds for ``b`` sequences of
+``seq_length`` tokens each.  Autoregressive decoding has two phases with
+very different economics, and :class:`DecodeCostModel` splits them:
+
+* **prefill** — one forward pass over the whole prompt.  Compute scales
+  with the number of prompt tokens, so the cost is the bucket latency
+  scaled by ``prompt_tokens / seq_length``: the weight traffic embedded in
+  the full-sequence latency amortizes over the prompt's tokens, which is
+  why prefill is cheap *per token*.
+* **decode step** — one token per active sequence.  The whole weight
+  matrix must stream from DRAM for a single token position, so every step
+  pays a width-independent floor of ``weights_bytes / peak_bandwidth`` on
+  top of the per-position compute (``bucket_latency / seq_length`` at the
+  smallest compiled bucket covering the batch width).  The floor is what
+  continuous batching amortizes: doubling the decode width roughly doubles
+  tokens/second until compute catches up.
+
+When a KV cache outgrows device DRAM the spilled bytes live in host
+memory and must cross the PCIe link every step;
+:meth:`DecodeCostModel.swap_penalty_seconds` prices that thrashing at
+:data:`HOST_LINK_BYTES_PER_S`.  This is the mechanism by which unbounded
+KV admission collapses decode tail latency in the serving ablation.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .device import DeviceSpec
+
+__all__ = ['DecodeCostModel', 'HOST_LINK_BYTES_PER_S']
+
+#: effective host<->device bandwidth for KV pages spilled past DRAM
+#: capacity (PCIe-class link, deliberately far below DRAM bandwidth)
+HOST_LINK_BYTES_PER_S = 16e9
+
+
+@dataclass(frozen=True)
+class DecodeCostModel:
+    """Price prefill passes and decode steps from compiled bucket latencies.
+
+    ``bucket_latency`` maps compiled batch bucket -> modeled seconds of one
+    full-sequence forward at that bucket (``RegisteredModel.latency``);
+    ``seq_length`` is the sequence length those graphs were compiled at;
+    ``weights_bytes`` is the parameter footprint streamed on every decode
+    step.  All outputs are simulated seconds; the model is pure and
+    deterministic.
+    """
+
+    device: DeviceSpec
+    seq_length: int
+    bucket_latency: Mapping[int, float]
+    weights_bytes: int
+    host_link_bytes_per_s: float = HOST_LINK_BYTES_PER_S
+    #: ascending compiled widths, derived once from ``bucket_latency``
+    widths: tuple = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.seq_length < 1:
+            raise ValueError(f'seq_length must be >= 1, got {self.seq_length}')
+        if not self.bucket_latency:
+            raise ValueError('need at least one compiled bucket latency')
+        if self.weights_bytes < 0:
+            raise ValueError('weights_bytes must be non-negative')
+        if self.host_link_bytes_per_s <= 0:
+            raise ValueError('host_link_bytes_per_s must be positive')
+        object.__setattr__(self, 'bucket_latency',
+                           {int(b): float(s)
+                            for b, s in self.bucket_latency.items()})
+        object.__setattr__(self, 'widths',
+                           tuple(sorted(self.bucket_latency)))
+
+    @property
+    def max_width(self) -> int:
+        """The widest compiled bucket (the decode batch width ceiling)."""
+        return self.widths[-1]
+
+    def bucket_for(self, width: int) -> int:
+        """Smallest compiled bucket covering ``width`` active sequences."""
+        if width < 1:
+            raise ValueError(f'width must be >= 1, got {width}')
+        for bucket in self.widths:
+            if bucket >= width:
+                return bucket
+        raise ValueError(f'no compiled bucket covers decode width {width} '
+                         f'(buckets: {list(self.widths)})')
+
+    def prefill_seconds(self, prompt_tokens: int, width: int = 1) -> float:
+        """One forward pass over ``prompt_tokens`` prompt tokens.
+
+        The full-sequence bucket latency scales by the fraction of the
+        compiled sequence the prompt fills — prefill amortizes weight
+        traffic over the prompt's tokens — plus one kernel-launch floor.
+        """
+        if prompt_tokens < 1:
+            raise ValueError(f'prompt_tokens must be >= 1, got {prompt_tokens}')
+        latency = self.bucket_latency[self.bucket_for(width)]
+        return (self.device.kernel_launch_overhead
+                + latency * (prompt_tokens / self.seq_length))
+
+    def decode_step_seconds(self, width: int) -> float:
+        """One token for each of ``width`` active sequences.
+
+        Priced by the smallest compiled bucket covering ``width``: the
+        per-position compute share of that bucket's full-sequence latency,
+        plus the weight-streaming floor every step pays regardless of
+        width.  Per-*token* cost therefore falls as width grows — the
+        continuous-batching win.
+        """
+        compute = self.bucket_latency[self.bucket_for(width)] / self.seq_length
+        floor = self.weights_bytes / self.device.peak_bandwidth
+        return self.device.kernel_launch_overhead + floor + compute
+
+    def swap_penalty_seconds(self, overflow_bytes: int) -> float:
+        """Per-step cost of KV bytes spilled past device DRAM capacity.
+
+        Spilled pages cross the host link both ways each step; the model
+        charges one traversal of the overflow per step, which is enough to
+        collapse decode once overflow reaches a few steps' worth of
+        weight-streaming floor.
+        """
+        if overflow_bytes <= 0:
+            return 0.0
+        return overflow_bytes / self.host_link_bytes_per_s

@@ -3,10 +3,10 @@ from .resnet import resnet50
 from .inception import inception_v3
 from .mobilenet import mobilenet_v2
 from .bert import bert_base
-from .gpt2 import gpt2
+from .gpt2 import gpt2, gpt2_kv_bytes_per_token
 
 __all__ = ['resnet50', 'inception_v3', 'mobilenet_v2', 'bert_base', 'gpt2',
-           'MODEL_BUILDERS', 'for_batch']
+           'gpt2_kv_bytes_per_token', 'MODEL_BUILDERS', 'for_batch']
 
 #: name -> builder, as used by the end-to-end experiments
 MODEL_BUILDERS = {

@@ -13,7 +13,21 @@ from ..graph import FlowGraph, from_numpy, ops, symbol, trace
 from .bert import transformer_encoder_layer
 from .common import WeightFactory, linear
 
-__all__ = ['gpt2']
+__all__ = ['gpt2', 'gpt2_kv_bytes_per_token']
+
+
+def gpt2_kv_bytes_per_token(hidden: int = 768, layers: int = 12,
+                            dtype_bytes: int = 4) -> int:
+    """KV-cache bytes one decoded token pins across all layers.
+
+    Every transformer layer caches one key and one value vector of width
+    ``hidden`` per token, so the bill is ``2 * layers * hidden *
+    dtype_bytes`` — the per-token rate the serving KV ledger charges.
+    Defaults match :func:`gpt2`'s 124M configuration at fp32.
+    """
+    if hidden < 1 or layers < 1 or dtype_bytes < 1:
+        raise ValueError('hidden, layers and dtype_bytes must all be >= 1')
+    return 2 * layers * hidden * dtype_bytes
 
 
 def gpt2(seq_length: int = 128, hidden: int = 768, layers: int = 12,

@@ -55,10 +55,13 @@ class Telemetry:
             self.tracer.reject(request, now, replica=replica, reason=reason)
 
     def lost(self, request, now: float, replica: Optional[int] = None,
-             reason: str = 'failure') -> None:
+             reason: str = 'failure', tokens: int = 0) -> None:
         self.metrics.counter('sim.requests.lost', unit='requests').add()
+        if tokens:
+            self.metrics.counter('sim.tokens.lost', unit='tokens').add(tokens)
         if self.tracer is not None:
-            self.tracer.lost(request, now, replica=replica, reason=reason)
+            self.tracer.lost(request, now, replica=replica, reason=reason,
+                             tokens=tokens)
 
     def requeue(self, request, now: float, replica: int) -> None:
         self.metrics.counter('sim.requests.requeued', unit='requests').add()
@@ -91,6 +94,42 @@ class Telemetry:
                 (now - request.arrival) * 1e3)
         if self.tracer is not None:
             self.tracer.batch_done(batch, now)
+
+    # -- continuous (iteration-level) decoding -------------------------------
+
+    def decode_join(self, request, now: float, replica: int,
+                    width: Optional[int] = None) -> None:
+        """A decode request joined a running batch (its prefill runs now)."""
+        self.metrics.counter('sim.decode.joined', unit='requests').add()
+        if width is not None:
+            self.metrics.histogram('sim.decode.join_width',
+                                   unit='slots').observe(width)
+        if self.tracer is not None:
+            self.tracer.decode_join(request, now, replica, width=width)
+
+    def decode_step(self, now: float, replica: int, width: int,
+                    tokens: int, kv_committed_bytes: int = 0) -> None:
+        """One decode iteration finished on ``replica`` at batch ``width``,
+        emitting ``tokens`` output tokens."""
+        self.metrics.counter('sim.decode.steps', unit='steps').add()
+        self.metrics.counter('sim.tokens.generated',
+                             unit='tokens').add(tokens)
+        self.metrics.gauge(f'sim.decode.width.r{replica}',
+                           unit='slots').set(now, width)
+        self.metrics.gauge(f'sim.kv.committed.r{replica}',
+                           unit='bytes').set(now, kv_committed_bytes)
+
+    def decode_complete(self, request, now: float, replica: int,
+                        tokens: int) -> None:
+        """A decode request hit EOS after ``tokens`` output tokens."""
+        self.metrics.counter('sim.requests.completed',
+                             unit='requests').add()
+        self.metrics.counter('sim.tokens.completed',
+                             unit='tokens').add(tokens)
+        self.metrics.histogram('sim.request.latency_ms', unit='ms').observe(
+            (now - request.arrival) * 1e3)
+        if self.tracer is not None:
+            self.tracer.decode_complete(request, now, replica, tokens)
 
     # -- control plane -------------------------------------------------------
 

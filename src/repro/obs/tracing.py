@@ -57,6 +57,8 @@ class RequestSpan:
     dispatch_time: Optional[float] = None
     bucket: Optional[int] = None
     requeued: int = 0                    # times re-admitted after a failure
+    prompt_tokens: int = 0               # decode traffic: prefilled prompt
+    tokens_emitted: int = 0              # decode traffic: tokens generated
     terminal: Optional[str] = None       # one of TERMINAL_KINDS, or open
     terminal_time: Optional[float] = None
     reason: str = ''                     # e.g. 'admission', 'failure'
@@ -151,10 +153,35 @@ class Tracer:
         self._terminate(request.req_id, 'reject', now, replica, reason)
 
     def lost(self, request, now: float, replica: Optional[int] = None,
-             reason: str = 'failure') -> None:
+             reason: str = 'failure', tokens: int = 0) -> None:
         """The request was lost — replica death, or nowhere to re-home
-        (terminal)."""
+        (terminal).  ``tokens`` records how many output tokens a decode
+        request had emitted before the loss (the loud partial count)."""
+        span = self._open.get(request.req_id)
+        if span is not None and tokens:
+            span.tokens_emitted = tokens
         self._terminate(request.req_id, 'lost', now, replica, reason)
+
+    def decode_join(self, request, now: float, replica: int,
+                    width: Optional[int] = None) -> None:
+        """A decode request joined a running batch: its prefill dispatches
+        here (not terminal; tokens stream until EOS or loss).  ``width`` is
+        the decode-batch width it joined at, recorded as the span's bucket."""
+        span = self._open.get(request.req_id)
+        if span is not None:
+            span.dispatch_time = now
+            span.bucket = width
+            span.replica = replica
+            span.prompt_tokens = getattr(request, 'prompt_tokens', 0)
+
+    def decode_complete(self, request, now: float, replica: int,
+                        tokens: int) -> None:
+        """A decode request emitted its EOS token after ``tokens`` output
+        tokens (terminal)."""
+        span = self._open.get(request.req_id)
+        if span is not None:
+            span.tokens_emitted = tokens
+        self._terminate(request.req_id, 'complete', now, replica, reason='')
 
     def requeue(self, request, now: float, replica: int) -> None:
         """The request survived its replica's death and re-admitted on
@@ -218,6 +245,18 @@ class Tracer:
             counts[span.terminal if span.is_terminated else 'open'] += 1
         return counts
 
+    def token_counts(self) -> dict[str, int]:
+        """Emitted output tokens summed per terminal kind (plus ``open``)
+        over every recorded span — the token-granularity totals a decode
+        run's :class:`ServeStats` must reconcile with:
+        ``complete + lost == num_decode_tokens``."""
+        counts = {kind: 0 for kind in TERMINAL_KINDS}
+        counts['open'] = 0
+        for span in self.request_spans:
+            kind = span.terminal if span.is_terminated else 'open'
+            counts[kind] += span.tokens_emitted
+        return counts
+
     def check_invariants(self) -> list[str]:
         """Audit the recorded run; returns violations (empty = clean).
 
@@ -254,6 +293,11 @@ class Tracer:
                                     f'dispatch/bucket')
                 if span.replica is None:
                     problems.append(f'{rid} completed without a replica')
+                if span.prompt_tokens > 0 and span.tokens_emitted == 0:
+                    problems.append(
+                        f'{rid} is decode traffic ({span.prompt_tokens} '
+                        f'prompt tokens) but completed with zero tokens '
+                        f'emitted')
         for i, batch in enumerate(self.batch_spans):
             if batch.end < batch.start:
                 problems.append(f'batch span #{i} ends ({batch.end:.6f}s) '
@@ -324,6 +368,9 @@ class Tracer:
                 args['bucket'] = span.bucket
             if span.requeued:
                 args['requeued'] = span.requeued
+            if span.prompt_tokens or span.tokens_emitted:
+                args['prompt_tokens'] = span.prompt_tokens
+                args['tokens_out'] = span.tokens_emitted
             events.append({
                 'name': f'request:{span.model}', 'cat': 'request',
                 'ph': 'e', 'id': span.req_id,

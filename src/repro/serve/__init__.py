@@ -35,13 +35,15 @@ Quickstart::
     print(format_serving_report(result.stats(registry)))
 """
 from .trace import (Request, poisson_trace, bursty_trace, diurnal_trace,
-                    merge_traces)
+                    decode_trace, merge_traces)
 from .batcher import (Batch, BatchingPolicy, DynamicBatcher,
-                      smallest_covering_bucket)
+                      smallest_covering_bucket, DecodePolicy,
+                      ContinuousBatcher, ADMISSION_POLICIES)
 from .memory import (MemoryModel, MemoryOverflowError, ModelFootprint,
-                     footprint_from_graphs, format_bytes)
+                     KVCacheLedger, footprint_from_graphs, format_bytes)
 from .registry import ModelRegistry, RegisteredModel, bucket_ladder
 from .simulator import (ServerSimulator, SimulationResult, CompletedRequest,
+                        DecodeSimulator, DecodeResult, DecodedRequest,
                         BATCH_OVERHEAD_SECONDS)
 from .stats import ServeStats, compute_stats, format_serving_report
 from .placement import (PlacementPolicy, RoundRobinPlacement,
@@ -63,8 +65,8 @@ from .fleet import (Fleet, Replica, FleetSimulator, FleetResult,
 _DEPLOYMENT_EXPORTS = (
     'SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec', 'BatchingSpec',
     'PlacementSpec', 'AutoscaleSpec', 'FailureSpec', 'CacheSpec',
-    'DeploymentSpec', 'Deployment', 'register_device', 'available_devices',
-    'resolve_device', 'SPEC_FORMAT_VERSION')
+    'DecodeSpec', 'DeploymentSpec', 'Deployment', 'register_device',
+    'available_devices', 'resolve_device', 'SPEC_FORMAT_VERSION')
 
 
 def __getattr__(name):
@@ -77,12 +79,14 @@ def __getattr__(name):
 
 __all__ = [
     'Request', 'poisson_trace', 'bursty_trace', 'diurnal_trace',
-    'merge_traces',
+    'decode_trace', 'merge_traces',
     'Batch', 'BatchingPolicy', 'DynamicBatcher', 'smallest_covering_bucket',
+    'DecodePolicy', 'ContinuousBatcher', 'ADMISSION_POLICIES',
     'ModelRegistry', 'RegisteredModel', 'bucket_ladder',
-    'MemoryModel', 'MemoryOverflowError', 'ModelFootprint',
+    'MemoryModel', 'MemoryOverflowError', 'ModelFootprint', 'KVCacheLedger',
     'footprint_from_graphs', 'format_bytes',
     'ServerSimulator', 'SimulationResult', 'CompletedRequest',
+    'DecodeSimulator', 'DecodeResult', 'DecodedRequest',
     'BATCH_OVERHEAD_SECONDS',
     'ServeStats', 'compute_stats', 'format_serving_report',
     'PlacementPolicy', 'RoundRobinPlacement', 'LeastLoadedPlacement',
@@ -96,6 +100,6 @@ __all__ = [
     'available_autoscale_policies',
     'SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec', 'BatchingSpec',
     'PlacementSpec', 'AutoscaleSpec', 'FailureSpec', 'CacheSpec',
-    'DeploymentSpec', 'Deployment', 'register_device', 'available_devices',
-    'resolve_device', 'SPEC_FORMAT_VERSION',
+    'DecodeSpec', 'DeploymentSpec', 'Deployment', 'register_device',
+    'available_devices', 'resolve_device', 'SPEC_FORMAT_VERSION',
 ]

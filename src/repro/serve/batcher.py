@@ -13,10 +13,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .memory import KVCacheLedger
 from .trace import Request
 
 __all__ = ['BatchingPolicy', 'Batch', 'DynamicBatcher',
-           'smallest_covering_bucket']
+           'smallest_covering_bucket',
+           'DecodePolicy', 'ContinuousBatcher', 'ADMISSION_POLICIES']
 
 
 def smallest_covering_bucket(size: int, buckets: Sequence[int]) -> int:
@@ -272,3 +274,127 @@ class DynamicBatcher:
         heads = [q[0].arrival + self.policy.max_wait
                  for q in self._queues.values() if q]
         return min(heads) if heads else None
+
+
+# ---------------------------------------------------------------------------
+# iteration-level (continuous) batching for decoder models
+
+#: how a decode lane admits new requests against its KV-cache ledger:
+#: ``reserve`` admits only when prompt + worst-case output KV fits the
+#: remaining capacity (decode can then never overflow); ``unbounded`` is
+#: the ablation that admits on width alone and lets KV spill to host
+ADMISSION_POLICIES = ('reserve', 'unbounded')
+
+
+@dataclass(frozen=True)
+class DecodePolicy:
+    """Scheduling knobs of the iteration-level decode batcher.
+
+    ``max_width`` bounds how many sequences decode together in one
+    iteration (the decode analogue of ``max_batch``); ``admission`` picks
+    the KV-capacity rule from :data:`ADMISSION_POLICIES`; ``max_waiting``
+    caps the join queue (arrivals past it are rejected — load shedding,
+    like ``BatchingPolicy.max_queue``); ``max_tokens`` is the longest
+    generation a request may declare (longer is malformed input, not
+    overload).
+    """
+
+    max_width: int = 8
+    admission: str = 'reserve'
+    max_waiting: Optional[int] = None    # queued-request cap (admission)
+    max_tokens: int = 256                # output-length ceiling per request
+
+    def __post_init__(self):
+        if self.max_width < 1:
+            raise ValueError('max_width must be >= 1')
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(f'admission must be one of {ADMISSION_POLICIES}, '
+                             f'got {self.admission!r}')
+        if self.max_waiting is not None and self.max_waiting < 1:
+            raise ValueError('max_waiting must be >= 1 (or None)')
+        if self.max_tokens < 1:
+            raise ValueError('max_tokens must be >= 1')
+
+
+class ContinuousBatcher:
+    """Token-level scheduler: FIFO admission into a running decode batch.
+
+    Where :class:`DynamicBatcher` coalesces whole requests into one-shot
+    dispatches, this scheduler fills *slots of a running batch*: at every
+    iteration boundary the simulator asks :meth:`next_joiners` which waiting
+    requests may join, and the answer is bounded by the policy's
+    ``max_width`` and by the KV-cache ledger the lane hands in.  Under
+    ``reserve`` admission a request joins only when its prompt plus its
+    whole declared output fits the ledger's remaining capacity — the
+    scheduler *commits* that reservation as it admits, so a joiner's claim
+    is visible to the very next admission decision and decode can never
+    overflow the device.  Under ``unbounded`` admission it commits the
+    prompt with no reservation and no check (the ablation).
+
+    FIFO with head-of-line blocking on purpose: skipping a KV-starved head
+    to admit a shorter request behind it would starve long generations
+    exactly when memory is tight.
+    """
+
+    def __init__(self, policy: DecodePolicy):
+        self.policy = policy
+        self._waiting: deque[Request] = deque()
+
+    def _validate(self, request: Request) -> None:
+        if request.output_tokens < 1 or request.prompt_tokens < 1:
+            raise ValueError(
+                f'request {request.req_id} is not decode traffic '
+                f'(prompt_tokens={request.prompt_tokens}, '
+                f'output_tokens={request.output_tokens}); build it with '
+                f'decode_trace()')
+        if request.output_tokens > self.policy.max_tokens:
+            raise ValueError(
+                f'request {request.req_id} declares {request.output_tokens} '
+                f'output tokens, more than max_tokens={self.policy.max_tokens}')
+
+    def offer(self, request: Request) -> bool:
+        """Admission-controlled enqueue; ``False`` when the queue is full.
+
+        Malformed input (a non-decode request, or one declaring more than
+        ``max_tokens`` output) raises — rejection is reserved for overload.
+        """
+        self._validate(request)
+        cap = self.policy.max_waiting
+        if cap is not None and len(self._waiting) >= cap:
+            return False
+        self._waiting.append(request)
+        return True
+
+    def pending(self) -> int:
+        """Requests waiting to join the running batch."""
+        return len(self._waiting)
+
+    def drain(self) -> list[Request]:
+        """Empty the queue (replica death), ordered by arrival."""
+        drained = sorted(self._waiting, key=lambda r: (r.arrival, r.req_id))
+        self._waiting.clear()
+        return drained
+
+    def next_joiners(self, active_width: int, ledger: KVCacheLedger,
+                     now: Optional[float] = None) -> list[Request]:
+        """Admit waiting requests into the running batch, FIFO.
+
+        Joins while slots remain below ``max_width`` and (under ``reserve``)
+        while the head's prompt + declared output KV fits ``ledger``;
+        admitted requests' KV is committed here, so the returned requests
+        are already resident.  ``now`` timestamps the ledger mutations.
+        """
+        joiners: list[Request] = []
+        while self._waiting and active_width + len(joiners) < self.policy.max_width:
+            head = self._waiting[0]
+            if self.policy.admission == 'reserve':
+                if not ledger.can_admit(head.prompt_tokens, head.output_tokens):
+                    break                       # wait for EOS to free KV
+                self._waiting.popleft()
+                ledger.admit(head.req_id, head.prompt_tokens,
+                             reserve_tokens=head.output_tokens, now=now)
+            else:
+                self._waiting.popleft()
+                ledger.admit(head.req_id, head.prompt_tokens, now=now)
+            joiners.append(head)
+        return joiners

@@ -50,8 +50,9 @@ from .trace import Request
 
 __all__ = ['SpecValidationError', 'ModelSpec', 'ReplicaGroupSpec',
            'BatchingSpec', 'PlacementSpec', 'AutoscaleSpec', 'FailureSpec',
-           'CacheSpec', 'DeploymentSpec', 'Deployment', 'register_device',
-           'available_devices', 'resolve_device', 'SPEC_FORMAT_VERSION']
+           'CacheSpec', 'DecodeSpec', 'DeploymentSpec', 'Deployment',
+           'register_device', 'available_devices', 'resolve_device',
+           'SPEC_FORMAT_VERSION']
 
 #: bumped when the JSON layout changes shape; ``from_json`` rejects others
 SPEC_FORMAT_VERSION = 1
@@ -210,6 +211,32 @@ def _check_field_types(node, path: str) -> None:
 
 
 @dataclass(frozen=True)
+class DecodeSpec:
+    """Autoregressive-decode serving of one model (continuous batching).
+
+    A :class:`ModelSpec` carrying a ``decode`` node serves token-level
+    traffic through :class:`~repro.serve.simulator.DecodeSimulator`:
+    ``kv_bytes_per_token`` prices the per-replica KV-cache ledger (e.g.
+    :func:`repro.models.gpt2_kv_bytes_per_token`), ``max_tokens`` bounds
+    any one request's generation, ``max_width`` caps the decode-batch
+    width, and ``admission`` picks the ledger policy — ``'reserve'``
+    (admit only when the worst-case prompt+output reservation fits; KV can
+    never overflow) or ``'unbounded'`` (admit freely; overflow pays a
+    host-swap penalty per decode step).  ``kv_capacity_bytes`` overrides
+    the derived per-replica KV budget (device DRAM minus weights);
+    ``seq_length`` is the compiled sequence length decode-step latencies
+    amortize over.
+    """
+
+    kv_bytes_per_token: int
+    max_tokens: int = 256
+    max_width: int = 8
+    admission: str = 'reserve'
+    kv_capacity_bytes: Optional[int] = None
+    seq_length: int = 128
+
+
+@dataclass(frozen=True)
 class ModelSpec:
     """One model of the deployment: name, bucket ladder, builder kwargs.
 
@@ -231,8 +258,11 @@ class ModelSpec:
     buckets: Optional[tuple[int, ...]] = None
     config: dict = field(default_factory=dict)
     memory_bytes: Optional[int] = None
+    decode: Optional[DecodeSpec] = None
 
     def __post_init__(self):
+        if self.decode is not None and not isinstance(self.decode, DecodeSpec):
+            _set(self, decode=_node(DecodeSpec, self.decode, 'decode'))
         if self.buckets is not None:
             # strict: int() coercion would silently parse a JSON string
             # ("12" -> buckets 1 and 2) or truncate floats
@@ -405,6 +435,9 @@ class CacheSpec:
 _NODE_FIELD_TYPES.update({
     ModelSpec: {'name': str, 'max_batch': int, 'config': dict,
                 'memory_bytes': (int, type(None))},
+    DecodeSpec: {'kv_bytes_per_token': int, 'max_tokens': int,
+                 'max_width': int, 'admission': str,
+                 'kv_capacity_bytes': (int, type(None)), 'seq_length': int},
     ReplicaGroupSpec: {'device': str, 'count': int,
                        'memory_bytes': (int, type(None))},
     BatchingSpec: {'max_batch': int, 'max_wait': _NUM,
@@ -514,6 +547,8 @@ class DeploymentSpec:
                 raise SpecValidationError(
                     f'{path}.memory_bytes',
                     f'must be >= 1 when given, got {model.memory_bytes}')
+            if model.decode is not None:
+                self._validate_decode(model.decode, f'{path}.decode')
             if self.batching.max_batch > max(model.ladder()):
                 raise SpecValidationError(
                     'batching.max_batch',
@@ -580,6 +615,38 @@ class DeploymentSpec:
                 'parallel pre-tuning needs cache.warm_from: the workers '
                 'share it as their record log and replicas warm from it')
         return self
+
+    def _validate_decode(self, decode: DecodeSpec, path: str) -> None:
+        """Vet one model's decode node; every error names its dotted path."""
+        if not isinstance(decode, DecodeSpec):
+            raise SpecValidationError(path, f'must be a DecodeSpec, got '
+                                            f'{decode!r}')
+        _check_field_types(decode, path)
+        for fname in ('kv_bytes_per_token', 'max_tokens', 'max_width',
+                      'seq_length'):
+            value = getattr(decode, fname)
+            if value < 1:
+                raise SpecValidationError(f'{path}.{fname}',
+                                          f'must be >= 1, got {value}')
+        from .batcher import ADMISSION_POLICIES
+        if decode.admission not in ADMISSION_POLICIES:
+            raise SpecValidationError(
+                f'{path}.admission',
+                f'unknown admission policy {decode.admission!r} '
+                f'(one of {list(ADMISSION_POLICIES)})')
+        if decode.kv_capacity_bytes is not None:
+            if decode.kv_capacity_bytes < 1:
+                raise SpecValidationError(
+                    f'{path}.kv_capacity_bytes',
+                    f'must be >= 1 when given, got {decode.kv_capacity_bytes}')
+            needed = decode.kv_bytes_per_token * decode.max_tokens
+            if decode.kv_capacity_bytes < needed:
+                raise SpecValidationError(
+                    f'{path}.kv_capacity_bytes',
+                    f'{decode.kv_capacity_bytes} bytes cannot hold even one '
+                    f'max-length generation ({decode.max_tokens} tokens x '
+                    f'{decode.kv_bytes_per_token} bytes/token = {needed} '
+                    f'bytes) — every decode request would be rejected')
 
     def _validate_memory_budget(self) -> None:
         """Reject declared model budgets no replica group can serve.

@@ -407,6 +407,46 @@ class Fleet:
         """Per-replica schedule-cache counters, keyed by replica label."""
         return {r.label: r.registry.cache.stats for r in self.replicas}
 
+    def decode_simulator(self, model: str, policy=None, *,
+                         kv_bytes_per_token: int, seq_length: int,
+                         continuous: bool = True,
+                         kv_capacity_bytes: Optional[int] = None,
+                         weights_bytes: Optional[int] = None,
+                         failures=None, joins=()):
+        """A :class:`~repro.serve.simulator.DecodeSimulator` over ``model``'s
+        hosting replicas — the fleet's compiled bucket latencies priced as
+        decode-step costs.
+
+        The cost model reads the first hosting replica's registered bucket
+        latencies and device (decode lanes are assumed homogeneous — the
+        usual shape for a decoder fleet); ``weights_bytes`` defaults to the
+        model's DRAM reservation, which also sizes each lane's default KV
+        budget (device DRAM minus weights).  ``kv_bytes_per_token`` and
+        ``seq_length`` come from the model's architecture (e.g.
+        :func:`repro.models.gpt2_kv_bytes_per_token`); ``policy`` is a
+        :class:`~repro.serve.batcher.DecodePolicy`.  ``failures`` and
+        ``joins`` are forwarded to the simulator's lifecycle channel.
+        """
+        from ..gpusim.decode import DecodeCostModel
+        from .simulator import DecodeSimulator
+        self.build()
+        hosts = self.hosts(model)
+        first = self.replicas[hosts[0]]
+        registered = first.registry[model]
+        if weights_bytes is None:
+            weights_bytes = self._reserve_bytes(model)
+        cost = DecodeCostModel(
+            device=first.device, seq_length=seq_length,
+            bucket_latency={b: registered.latency(b)
+                            for b in registered.bucket_sizes},
+            weights_bytes=weights_bytes)
+        return DecodeSimulator(cost, policy,
+                               kv_bytes_per_token=kv_bytes_per_token,
+                               kv_capacity_bytes=kv_capacity_bytes,
+                               continuous=continuous,
+                               num_replicas=len(hosts),
+                               failures=failures, joins=joins)
+
     def stats(self) -> dict:
         """Hosting map plus per-replica registry stats (nested dict)."""
         self.build()

@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Mapping, Optional
 
 __all__ = [
     'MemoryOverflowError', 'ModelFootprint', 'footprint_from_graphs',
-    'graph_tensor_bytes', 'MemoryModel', 'format_bytes',
+    'graph_tensor_bytes', 'MemoryModel', 'KVCacheLedger', 'format_bytes',
 ]
 
 
@@ -219,4 +219,161 @@ class MemoryModel:
         return (f'MemoryModel({self.label or "?"}: '
                 f'{format_bytes(self.committed_bytes)}'
                 f'/{format_bytes(self.capacity_bytes)} committed, '
+                f'peak {format_bytes(self._peak)})')
+
+
+class KVCacheLedger:
+    """Token-granular KV-cache accounting for one replica's decode batch.
+
+    Where :class:`MemoryModel` bills whole model footprints, this ledger
+    bills *tokens*: each admitted request commits its prompt tokens at
+    ``bytes_per_token`` each, grows by one token per decode step, and
+    releases everything at EOS (or when its replica dies).  Admission may
+    additionally *reserve* headroom for a request's worst-case output so a
+    capacity check at join time guarantees the decode can run to EOS
+    without ever overflowing — each emitted token then converts one
+    reserved token into a committed one, keeping the reserved total flat.
+
+    ``strict=True`` (the capacity-admission regime) raises
+    :class:`MemoryOverflowError` on any mutation that would push the
+    reserved total past ``capacity_bytes`` — the invariant the decode
+    simulator's admission policy must uphold.  ``strict=False`` (the
+    unbounded-admission ablation) lets the committed total run past
+    capacity and exposes the excess as :attr:`overflow_bytes`, which the
+    cost model converts into a per-step host-swap penalty.
+
+    ``record_trail=True`` appends ``(time, committed_bytes)`` after every
+    timestamped mutation, so tests can assert the capacity invariant *at
+    every simulated instant*, not just at the end.
+    """
+
+    def __init__(self, capacity_bytes: int, bytes_per_token: int,
+                 label: str = '', strict: bool = True,
+                 record_trail: bool = False) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f'capacity_bytes must be positive, '
+                             f'got {capacity_bytes}')
+        if bytes_per_token <= 0:
+            raise ValueError(f'bytes_per_token must be positive, '
+                             f'got {bytes_per_token}')
+        self.capacity_bytes = int(capacity_bytes)
+        self.bytes_per_token = int(bytes_per_token)
+        self.label = label
+        self.strict = strict
+        self._committed: Dict[int, int] = {}   # req_id -> tokens resident
+        self._headroom: Dict[int, int] = {}    # req_id -> tokens reserved ahead
+        self._peak = 0
+        self.trail: list = [] if record_trail else None
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def committed_tokens(self) -> int:
+        return sum(self._committed.values())
+
+    @property
+    def committed_bytes(self) -> int:
+        """Bytes of KV actually resident (prompt + emitted tokens)."""
+        return self.committed_tokens * self.bytes_per_token
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Committed bytes plus admission-time headroom (the planning view)."""
+        return ((self.committed_tokens + sum(self._headroom.values()))
+                * self.bytes_per_token)
+
+    @property
+    def overflow_bytes(self) -> int:
+        """Committed bytes past capacity (0 under strict accounting)."""
+        return max(0, self.committed_bytes - self.capacity_bytes)
+
+    @property
+    def peak_committed_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def utilization(self) -> float:
+        return self.committed_bytes / self.capacity_bytes
+
+    @property
+    def active_requests(self) -> int:
+        return len(self._committed)
+
+    def tokens_of(self, req_id: int) -> int:
+        """Tokens currently resident for ``req_id`` (0 when absent)."""
+        return self._committed.get(req_id, 0)
+
+    def can_admit(self, prompt_tokens: int, reserve_tokens: int = 0) -> bool:
+        """Whether committing ``prompt_tokens`` now and up to
+        ``reserve_tokens`` more later fits alongside existing reservations."""
+        need = (prompt_tokens + reserve_tokens) * self.bytes_per_token
+        return self.reserved_bytes + need <= self.capacity_bytes
+
+    # -- mutations --------------------------------------------------------
+    def _note(self, now: Optional[float]) -> None:
+        self._peak = max(self._peak, self.committed_bytes)
+        if self.trail is not None and now is not None:
+            self.trail.append((now, self.committed_bytes))
+
+    def _guard(self, extra_tokens: int, req_id: int) -> None:
+        if not self.strict:
+            return
+        extra = extra_tokens * self.bytes_per_token
+        if self.reserved_bytes + extra > self.capacity_bytes:
+            raise MemoryOverflowError(
+                self.label, f'kv:{req_id}', extra, self.capacity_bytes,
+                self.reserved_bytes)
+
+    def admit(self, req_id: int, prompt_tokens: int,
+              reserve_tokens: int = 0, now: Optional[float] = None) -> None:
+        """Commit a joining request's prompt KV; optionally reserve output
+        headroom.  Loud on a duplicate id or (strict) on overflow."""
+        if req_id in self._committed:
+            raise ValueError(f'request {req_id} already holds KV here')
+        if prompt_tokens < 1:
+            raise ValueError(f'prompt_tokens must be >= 1, got {prompt_tokens}')
+        if reserve_tokens < 0:
+            raise ValueError('reserve_tokens must be non-negative')
+        self._guard(prompt_tokens + reserve_tokens, req_id)
+        self._committed[req_id] = prompt_tokens
+        self._headroom[req_id] = reserve_tokens
+        self._note(now)
+
+    def extend(self, req_id: int, tokens: int = 1,
+               now: Optional[float] = None) -> None:
+        """Grow a resident request's KV by ``tokens`` emitted tokens.
+
+        Tokens come out of the request's reserved headroom first; growth
+        past the reservation re-checks capacity (strict) or spills into
+        :attr:`overflow_bytes` (unbounded).
+        """
+        if req_id not in self._committed:
+            raise KeyError(f'request {req_id} holds no KV here')
+        if tokens < 1:
+            raise ValueError(f'tokens must be >= 1, got {tokens}')
+        covered = min(tokens, self._headroom[req_id])
+        self._guard(tokens - covered, req_id)
+        self._headroom[req_id] -= covered
+        self._committed[req_id] += tokens
+        self._note(now)
+
+    def release(self, req_id: int, now: Optional[float] = None) -> int:
+        """Drop a request's KV (EOS or failure); returns the tokens freed."""
+        tokens = self._committed.pop(req_id, 0)
+        self._headroom.pop(req_id, None)
+        self._note(now)
+        return tokens
+
+    def clear(self, now: Optional[float] = None) -> int:
+        """Release every resident request (replica death); tokens freed."""
+        tokens = self.committed_tokens
+        self._committed.clear()
+        self._headroom.clear()
+        self._note(now)
+        return tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f'KVCacheLedger({self.label or "?"}: '
+                f'{format_bytes(self.committed_bytes)}'
+                f'/{format_bytes(self.capacity_bytes)} committed over '
+                f'{self.active_requests} requests, '
                 f'peak {format_bytes(self._peak)})')

@@ -93,12 +93,39 @@ class ServeStats:
     peak_memory_bytes: dict[str, int] = field(default_factory=dict)
     #: replica label -> DRAM capacity in bytes (pairs with the peaks above)
     memory_capacity_bytes: dict[str, int] = field(default_factory=dict)
+    #: token-level channel, filled by decode (continuous-batching) runs and
+    #: zero otherwise: prompt tokens prefilled, output tokens emitted
+    #: (including by requests later lost to failure), decode iterations run
+    num_prefill_tokens: int = 0
+    num_decode_tokens: int = 0
+    num_decode_steps: int = 0
+    #: emitted output tokens per simulated second (the decode throughput
+    #: axis the continuous-vs-request-level claim is judged on)
+    tokens_per_second: float = 0.0
+    #: mean priced decode-batch width over the run's iterations
+    mean_decode_width: float = 0.0
+    #: lane label -> high-water mark of committed KV-cache bytes
+    kv_peak_bytes: dict[str, int] = field(default_factory=dict)
+    #: lane label -> KV capacity in bytes (pairs with the peaks above)
+    kv_capacity_bytes: dict[str, int] = field(default_factory=dict)
+    #: decode iterations that paid a host-swap penalty for KV spilled past
+    #: capacity (always 0 under reserve admission — the ledger invariant)
+    kv_overflow_steps: int = 0
     #: the full metrics registry this fold was computed through (``serve.*``
     #: fold-time metrics plus any merged live ``sim.*`` series); carried
     #: out-of-band of equality/repr — two runs are "equal" when their
     #: numbers agree, not when their sample series do
     metrics: Optional[MetricsRegistry] = field(default=None, compare=False,
                                                repr=False)
+
+    @property
+    def peak_kv_utilization(self) -> float:
+        """Worst committed-KV fraction across decode lanes (0.0 for
+        non-decode runs)."""
+        fractions = [self.kv_peak_bytes.get(label, 0) / capacity
+                     for label, capacity in self.kv_capacity_bytes.items()
+                     if capacity > 0]
+        return max(fractions, default=0.0)
 
     @property
     def peak_memory_utilization(self) -> float:
@@ -158,6 +185,11 @@ def compute_stats(completions, batches, registry=None,
                   scale_up_tuning_seconds: float = 0.0,
                   peak_memory_bytes: Optional[dict] = None,
                   memory_capacity_bytes: Optional[dict] = None,
+                  prefill_tokens: int = 0, decode_tokens: int = 0,
+                  decode_steps: int = 0, mean_decode_width: float = 0.0,
+                  kv_peak_bytes: Optional[dict] = None,
+                  kv_capacity_bytes: Optional[dict] = None,
+                  kv_overflow_steps: int = 0,
                   live_metrics: Optional[MetricsRegistry] = None) -> ServeStats:
     """Fold completion records and dispatches into a :class:`ServeStats`.
 
@@ -220,6 +252,16 @@ def compute_stats(completions, batches, registry=None,
     metrics.counter('serve.replica_seconds', unit='s').add(replica_seconds)
     metrics.counter('serve.scale_up_tuning_seconds',
                     unit='s').add(scale_up_tuning_seconds)
+    if decode_steps:
+        # the token-level channel exists only for decode runs, so classic
+        # whole-request folds keep their historical metric set byte-for-byte
+        metrics.counter('serve.tokens.prefill', unit='tokens').add(
+            prefill_tokens)
+        metrics.counter('serve.tokens.decode', unit='tokens').add(
+            decode_tokens)
+        metrics.counter('serve.decode.steps', unit='steps').add(decode_steps)
+        metrics.counter('serve.kv.overflow_steps', unit='steps').add(
+            kv_overflow_steps)
     metrics.merge(live_metrics)
 
     # everything except the latency/throughput block, shared by both
@@ -236,6 +278,13 @@ def compute_stats(completions, batches, registry=None,
         scale_up_tuning_seconds=scale_up_tuning_seconds,
         peak_memory_bytes=dict(peak_memory_bytes or {}),
         memory_capacity_bytes=dict(memory_capacity_bytes or {}),
+        num_prefill_tokens=prefill_tokens,
+        num_decode_tokens=decode_tokens,
+        num_decode_steps=decode_steps,
+        mean_decode_width=mean_decode_width,
+        kv_peak_bytes=dict(kv_peak_bytes or {}),
+        kv_capacity_bytes=dict(kv_capacity_bytes or {}),
+        kv_overflow_steps=kv_overflow_steps,
         metrics=metrics,
     )
 
@@ -281,6 +330,7 @@ def compute_stats(completions, batches, registry=None,
         mean_batch_size=num_samples / max(1, len(batches)),
         mean_occupancy=(occupancy_hist.mean() if batches else 0.0),
         bucket_histogram=dict(sorted(histogram.items())),
+        tokens_per_second=decode_tokens / duration,
         **channels,
     )
 
@@ -304,8 +354,10 @@ def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
         f'  latency ms p50 {stats.latency_p50_ms:8.3f}  '
         f'p95 {stats.latency_p95_ms:8.3f}  p99 {stats.latency_p99_ms:8.3f}  '
         f'max {stats.latency_max_ms:8.3f}',
-        f'  batches {stats.num_batches} (mean size {stats.mean_batch_size:.2f}, '
-        f'occupancy {stats.mean_occupancy * 100:.0f}%)  dispatched: {buckets}',
+        *([] if stats.num_decode_steps and not stats.num_batches else
+          [f'  batches {stats.num_batches} (mean size '
+           f'{stats.mean_batch_size:.2f}, occupancy '
+           f'{stats.mean_occupancy * 100:.0f}%)  dispatched: {buckets}']),
         f'  schedule cache: {stats.cache_hits} hits, '
         f'{transfers}, {stats.cache_misses} '
         f'misses (hit rate {stats.cache_hit_rate * 100:.0f}%)',
@@ -330,4 +382,20 @@ def format_serving_report(stats: ServeStats, title: str = 'serving run') -> str:
             f'  memory: peak {_fmt_bytes(total_peak)} of '
             f'{_fmt_bytes(total_cap)} fleet DRAM committed '
             f'(worst replica {stats.peak_memory_utilization * 100:.0f}%)')
+    if stats.num_decode_steps:
+        lines.append(
+            f'  decode: {stats.num_decode_tokens} tokens over '
+            f'{stats.num_decode_steps} steps (mean width '
+            f'{stats.mean_decode_width:.2f}, '
+            f'{stats.tokens_per_second:.1f} tokens/s, prefilled '
+            f'{stats.num_prefill_tokens} prompt tokens)')
+        if stats.kv_capacity_bytes:
+            kv_peak = sum(stats.kv_peak_bytes.values())
+            kv_cap = sum(stats.kv_capacity_bytes.values())
+            overflow = (f', {stats.kv_overflow_steps} swap-penalized steps'
+                        if stats.kv_overflow_steps else '')
+            lines.append(
+                f'  kv cache: peak {_fmt_bytes(kv_peak)} of '
+                f'{_fmt_bytes(kv_cap)} committed (worst lane '
+                f'{stats.peak_kv_utilization * 100:.0f}%){overflow}')
     return '\n'.join(lines)

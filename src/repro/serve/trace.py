@@ -17,23 +17,42 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 __all__ = ['Request', 'poisson_trace', 'bursty_trace', 'diurnal_trace',
-           'merge_traces']
+           'decode_trace', 'merge_traces']
 
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request: ``size`` samples for ``model`` at ``arrival``."""
+    """One inference request: ``size`` samples for ``model`` at ``arrival``.
+
+    Decoder requests additionally carry token counts: ``prompt_tokens`` is
+    the prompt the prefill pass consumes, ``output_tokens`` the sampled
+    number of tokens the request will decode before emitting EOS (the
+    simulator treats it as ground truth, the way a replayed production
+    trace would).  Both stay 0 for whole-request (non-decode) traffic.
+    """
 
     req_id: int
     model: str
     size: int                    # samples in this request (>= 1)
     arrival: float               # seconds since trace start
+    prompt_tokens: int = 0       # decode traffic: prompt length (tokens)
+    output_tokens: int = 0       # decode traffic: sampled generation length
 
     def __post_init__(self):
         if self.size < 1:
             raise ValueError(f'request size must be >= 1, got {self.size}')
         if self.arrival < 0:
             raise ValueError('request arrival must be non-negative')
+        if self.prompt_tokens < 0 or self.output_tokens < 0:
+            raise ValueError('token counts must be non-negative')
+        if self.output_tokens > 0 and self.prompt_tokens < 1:
+            raise ValueError('a decode request needs at least one prompt '
+                             'token to prefill from')
+
+    @property
+    def is_decode(self) -> bool:
+        """Whether this request is autoregressive-decode traffic."""
+        return self.output_tokens > 0
 
 
 ModelWeights = Union[Sequence[str], Mapping[str, float]]
@@ -153,8 +172,48 @@ def diurnal_trace(base_qps: float, peak_qps: float, period: float,
     return requests
 
 
+def decode_trace(qps: float, num_requests: int, model: str = 'gpt2',
+                 seed: int = 0, prompt_tokens: tuple[int, int] = (8, 64),
+                 mean_output_tokens: float = 32.0,
+                 max_output_tokens: int = 128,
+                 start: float = 0.0) -> list[Request]:
+    """Poisson arrivals of autoregressive decode requests for ``model``.
+
+    Prompt lengths are uniform over the inclusive ``prompt_tokens`` range.
+    Output lengths are sampled from a geometric distribution with the given
+    mean, clipped to ``[1, max_output_tokens]`` — the memoryless "will the
+    next token be EOS?" model, which yields exactly the mixed-length traffic
+    (many short answers, a heavy tail of long generations) that
+    request-level batching handles worst: short requests pinned in a batch
+    until its longest member finishes.  Fully determined by ``seed``.
+    """
+    if qps <= 0:
+        raise ValueError('qps must be positive')
+    lo, hi = int(prompt_tokens[0]), int(prompt_tokens[1])
+    if not 1 <= lo <= hi:
+        raise ValueError(f'need 1 <= prompt lo <= hi, got {prompt_tokens}')
+    if mean_output_tokens < 1:
+        raise ValueError('mean_output_tokens must be >= 1')
+    if max_output_tokens < 1:
+        raise ValueError('max_output_tokens must be >= 1')
+    rng = np.random.default_rng(seed)
+    inter = rng.exponential(1.0 / qps, size=num_requests)
+    arrivals = start + np.cumsum(inter)
+    prompts = rng.integers(lo, hi + 1, size=num_requests)
+    outputs = np.clip(rng.geometric(1.0 / mean_output_tokens,
+                                    size=num_requests),
+                      1, max_output_tokens)
+    return [Request(req_id=i, model=model, size=1,
+                    arrival=float(arrivals[i]),
+                    prompt_tokens=int(prompts[i]),
+                    output_tokens=int(outputs[i]))
+            for i in range(num_requests)]
+
+
 def merge_traces(*traces: Sequence[Request]) -> list[Request]:
     """Interleave traces by arrival time, renumbering request ids."""
     merged = sorted((r for t in traces for r in t), key=lambda r: r.arrival)
-    return [Request(req_id=i, model=r.model, size=r.size, arrival=r.arrival)
+    return [Request(req_id=i, model=r.model, size=r.size, arrival=r.arrival,
+                    prompt_tokens=r.prompt_tokens,
+                    output_tokens=r.output_tokens)
             for i, r in enumerate(merged)]

@@ -83,6 +83,17 @@ def test_bench_serving_smoke_cli_budget():
     assert 'throughput' in text
 
 
+def test_bench_serving_decode_smoke_budget():
+    """The --decode --smoke acceptance: continuous batching must beat
+    request-level batching on token throughput at equal-or-better p99,
+    reservation admission must hold the decode SLO the unbounded ablation
+    violates, and the run must finish in <10s."""
+    text = _run_budgeted('bench_serving', 'decode_smoke')
+    for token in ('continuous batching', 'swap-penalized steps',
+                  'continuous-over-request-level token throughput'):
+        assert token in text
+
+
 def test_bench_serving_fleet_smoke_budget():
     """The --smoke --fleet acceptance: the reduced fleet experiments
     (placement comparison, cross-device warm-up, SLO sizing) must pass

@@ -1,0 +1,449 @@
+"""Continuous (iteration-level) batching for decoder serving.
+
+Covers the decode stack bottom-up: the prefill/decode cost split
+(:mod:`repro.gpusim.decode`), the token-granular KV-cache ledger
+(:class:`repro.serve.memory.KVCacheLedger`) and its capacity invariant,
+the iteration-level scheduler (:class:`repro.serve.ContinuousBatcher`),
+and the :class:`repro.serve.DecodeSimulator` event loop — including the
+property-based token-conservation law over arbitrary seeded traces with
+random failure/scale-up schedules, and the byte-determinism of the
+decode bench record and Chrome trace export.
+"""
+import json
+import pathlib
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import DecodeCostModel, RTX3090
+from repro.gpusim.decode import HOST_LINK_BYTES_PER_S
+from repro.obs import TERMINAL_KINDS, Telemetry
+from repro.serve import (ContinuousBatcher, DecodePolicy, DecodeSimulator,
+                         FailureEvent, KVCacheLedger, Request, decode_trace)
+from repro.serve.memory import MemoryOverflowError
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / 'benchmarks'
+
+
+def tiny_cost(weights_bytes: int = 1_000_000, seq_length: int = 16,
+              buckets=(1, 2, 4, 8)) -> DecodeCostModel:
+    """A synthetic cost model: latency grows sublinearly with width, so
+    wider decode steps are cheaper per token (the regime under test)."""
+    return DecodeCostModel(
+        device=RTX3090, seq_length=seq_length,
+        bucket_latency={b: 1e-4 * (1 + 0.25 * i)
+                        for i, b in enumerate(buckets)},
+        weights_bytes=weights_bytes)
+
+
+# ---------------------------------------------------------------------------
+# the prefill/decode cost split
+
+
+class TestDecodeCostModel:
+    def test_bucket_for_picks_smallest_covering(self):
+        cost = tiny_cost()
+        assert cost.bucket_for(1) == 1
+        assert cost.bucket_for(3) == 4
+        assert cost.bucket_for(8) == 8
+        with pytest.raises(ValueError):
+            cost.bucket_for(9)
+        with pytest.raises(ValueError):
+            cost.bucket_for(0)
+
+    def test_prefill_amortizes_over_prompt_length(self):
+        cost = tiny_cost(seq_length=16)
+        short = cost.prefill_seconds(1)
+        full = cost.prefill_seconds(16)
+        # per-token prefill cost falls as the prompt fills the sequence
+        assert full / 16 < short
+        # and the full-sequence prefill recovers the bucket latency
+        assert full == pytest.approx(
+            RTX3090.kernel_launch_overhead + cost.bucket_latency[1])
+
+    def test_decode_step_pays_weight_streaming_floor(self):
+        heavy = tiny_cost(weights_bytes=10_000_000_000)
+        light = tiny_cost(weights_bytes=0)
+        floor = 10_000_000_000 / RTX3090.peak_bandwidth
+        assert (heavy.decode_step_seconds(1) - light.decode_step_seconds(1)
+                == pytest.approx(floor))
+
+    def test_per_token_cost_falls_with_width(self):
+        cost = tiny_cost(weights_bytes=100_000_000)
+        per_token_1 = cost.decode_step_seconds(1) / 1
+        per_token_8 = cost.decode_step_seconds(8) / 8
+        assert per_token_8 < per_token_1
+
+    def test_swap_penalty_prices_the_host_link(self):
+        cost = tiny_cost()
+        assert cost.swap_penalty_seconds(0) == 0.0
+        assert cost.swap_penalty_seconds(-5) == 0.0
+        assert (cost.swap_penalty_seconds(int(HOST_LINK_BYTES_PER_S))
+                == pytest.approx(1.0))
+
+    def test_rejects_malformed_shapes(self):
+        with pytest.raises(ValueError):
+            tiny_cost(seq_length=0)
+        with pytest.raises(ValueError):
+            DecodeCostModel(device=RTX3090, seq_length=16,
+                            bucket_latency={}, weights_bytes=0)
+        with pytest.raises(ValueError):
+            tiny_cost(weights_bytes=-1)
+
+
+# ---------------------------------------------------------------------------
+# the KV-cache ledger
+
+
+class TestKVCacheLedger:
+    def test_admit_extend_release_round_trip(self):
+        ledger = KVCacheLedger(capacity_bytes=1000, bytes_per_token=10)
+        ledger.admit(1, prompt_tokens=5)
+        assert ledger.committed_bytes == 50
+        ledger.extend(1, 3)
+        assert ledger.committed_bytes == 80
+        assert ledger.tokens_of(1) == 8
+        assert ledger.release(1) == 8
+        assert ledger.committed_bytes == 0
+        assert ledger.peak_committed_bytes == 80
+
+    def test_reservation_headroom_converts_to_committed(self):
+        ledger = KVCacheLedger(capacity_bytes=1000, bytes_per_token=10)
+        ledger.admit(1, prompt_tokens=5, reserve_tokens=20)
+        # the planning view holds the whole worst case from admission on
+        assert ledger.reserved_bytes == 250
+        assert ledger.committed_bytes == 50
+        ledger.extend(1, 20)
+        # every emitted token converted headroom; the reservation never grew
+        assert ledger.reserved_bytes == 250
+        assert ledger.committed_bytes == 250
+
+    def test_strict_admission_never_overflows(self):
+        ledger = KVCacheLedger(capacity_bytes=100, bytes_per_token=10)
+        assert ledger.can_admit(5, reserve_tokens=5)
+        assert not ledger.can_admit(5, reserve_tokens=6)
+        ledger.admit(1, prompt_tokens=5, reserve_tokens=5)
+        with pytest.raises(MemoryOverflowError):
+            ledger.admit(2, prompt_tokens=1)
+        ledger.extend(1, 5)              # within the reservation: fine
+        with pytest.raises(MemoryOverflowError):
+            ledger.extend(1, 1)          # past it: loud, never silent
+        assert ledger.overflow_bytes == 0
+
+    def test_unbounded_mode_exposes_overflow(self):
+        ledger = KVCacheLedger(capacity_bytes=100, bytes_per_token=10,
+                               strict=False)
+        ledger.admit(1, prompt_tokens=8)
+        ledger.admit(2, prompt_tokens=8)
+        assert ledger.committed_bytes == 160
+        assert ledger.overflow_bytes == 60
+        ledger.release(1)
+        assert ledger.overflow_bytes == 0
+
+    def test_duplicate_and_absent_ids_are_loud(self):
+        ledger = KVCacheLedger(capacity_bytes=100, bytes_per_token=1)
+        ledger.admit(1, prompt_tokens=1)
+        with pytest.raises(ValueError):
+            ledger.admit(1, prompt_tokens=1)
+        with pytest.raises(KeyError):
+            ledger.extend(99)
+        assert ledger.release(99) == 0   # releasing nothing frees nothing
+
+    def test_trail_records_every_timestamped_mutation(self):
+        ledger = KVCacheLedger(capacity_bytes=100, bytes_per_token=10,
+                               record_trail=True)
+        ledger.admit(1, prompt_tokens=2, now=0.0)
+        ledger.extend(1, now=1.0)
+        ledger.clear(now=2.0)
+        assert ledger.trail == [(0.0, 20), (1.0, 30), (2.0, 0)]
+
+
+# ---------------------------------------------------------------------------
+# the iteration-level scheduler
+
+
+def _decode_request(req_id: int, prompt: int = 4, output: int = 8,
+                    arrival: float = 0.0) -> Request:
+    return Request(req_id=req_id, model='gpt2', size=1, arrival=arrival,
+                   prompt_tokens=prompt, output_tokens=output)
+
+
+class TestContinuousBatcher:
+    def test_non_decode_traffic_is_malformed(self):
+        batcher = ContinuousBatcher(DecodePolicy())
+        with pytest.raises(ValueError, match='decode_trace'):
+            batcher.offer(Request(0, 'gpt2', 1, 0.0))
+
+    def test_output_past_max_tokens_is_malformed(self):
+        batcher = ContinuousBatcher(DecodePolicy(max_tokens=8))
+        with pytest.raises(ValueError, match='max_tokens'):
+            batcher.offer(_decode_request(0, output=9))
+
+    def test_max_waiting_sheds_load(self):
+        batcher = ContinuousBatcher(DecodePolicy(max_waiting=1))
+        assert batcher.offer(_decode_request(0))
+        assert not batcher.offer(_decode_request(1))
+        assert batcher.pending() == 1
+
+    def test_joiners_bounded_by_width_and_commit_their_kv(self):
+        batcher = ContinuousBatcher(DecodePolicy(max_width=2))
+        ledger = KVCacheLedger(capacity_bytes=10_000, bytes_per_token=1)
+        for i in range(3):
+            batcher.offer(_decode_request(i))
+        joiners = batcher.next_joiners(0, ledger)
+        assert [r.req_id for r in joiners] == [0, 1]
+        # admitted prompts and reservations are resident before the next ask
+        assert ledger.active_requests == 2
+        assert ledger.reserved_bytes == 2 * (4 + 8)
+        assert batcher.next_joiners(2, ledger) == []    # batch is full
+
+    def test_reserve_admission_blocks_head_of_line(self):
+        """A KV-starved head blocks shorter requests behind it — skipping
+        it would starve long generations exactly when memory is tight."""
+        policy = DecodePolicy(max_width=4, admission='reserve')
+        batcher = ContinuousBatcher(policy)
+        ledger = KVCacheLedger(capacity_bytes=100, bytes_per_token=1)
+        batcher.offer(_decode_request(0, prompt=50, output=60))   # never fits
+        batcher.offer(_decode_request(1, prompt=4, output=8))     # would fit
+        assert batcher.next_joiners(0, ledger) == []
+        assert batcher.pending() == 2
+
+    def test_unbounded_admission_ignores_capacity(self):
+        policy = DecodePolicy(max_width=4, admission='unbounded')
+        batcher = ContinuousBatcher(policy)
+        ledger = KVCacheLedger(capacity_bytes=10, bytes_per_token=1,
+                               strict=False)
+        batcher.offer(_decode_request(0, prompt=50, output=60))
+        assert len(batcher.next_joiners(0, ledger)) == 1
+        assert ledger.overflow_bytes == 40
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match='admission'):
+            DecodePolicy(admission='hopeful')
+        with pytest.raises(ValueError):
+            DecodePolicy(max_width=0)
+        with pytest.raises(ValueError):
+            DecodePolicy(max_tokens=0)
+
+
+# ---------------------------------------------------------------------------
+# the decode simulator: conservation, claims, failure semantics
+
+
+class TestDecodeSimulator:
+    def test_every_completion_decodes_its_sampled_length(self):
+        trace = decode_trace(qps=2000, num_requests=100, seed=7,
+                             prompt_tokens=(2, 8), mean_output_tokens=6.0,
+                             max_output_tokens=24)
+        sim = DecodeSimulator(tiny_cost(), DecodePolicy(max_width=8,
+                                                        max_tokens=24))
+        result = sim.run(trace)
+        assert not result.rejected and not result.lost
+        assert len(result.completions) == len(trace)
+        for done in result.completions:
+            assert done.tokens_out == done.request.output_tokens
+        assert (result.num_decode_tokens
+                == sum(r.output_tokens for r in trace))
+
+    def test_continuous_beats_request_level_on_mixed_lengths(self):
+        """Claim 1 at unit scale: same saturated mixed-length trace, same
+        cost model — iteration-level batching finishes sooner and holds a
+        lower tail, because EOS frees a slot immediately instead of
+        pinning it until the batch's longest member finishes."""
+        trace = decode_trace(qps=50_000, num_requests=200, seed=3,
+                             prompt_tokens=(2, 8), mean_output_tokens=8.0,
+                             max_output_tokens=32)
+        cost = tiny_cost(weights_bytes=100_000_000)
+
+        def run(continuous):
+            sim = DecodeSimulator(cost, DecodePolicy(max_width=8,
+                                                     max_tokens=32),
+                                  continuous=continuous)
+            return sim.run(trace).stats()
+
+        cont, reql = run(True), run(False)
+        assert cont.tokens_per_second > reql.tokens_per_second
+        assert cont.latency_p99_ms <= reql.latency_p99_ms
+
+    def test_lane_failure_loses_residents_loudly_with_partial_tokens(self):
+        trace = decode_trace(qps=5000, num_requests=60, seed=1,
+                             prompt_tokens=(2, 4), mean_output_tokens=16.0,
+                             max_output_tokens=64)
+        kill_at = trace[20].arrival
+        telemetry = Telemetry()
+        sim = DecodeSimulator(
+            tiny_cost(), DecodePolicy(max_width=8, max_tokens=64),
+            failures=[FailureEvent(time=kill_at, replica=0)])
+        result = sim.run(trace, telemetry=telemetry)
+        assert result.lost, 'the kill must strand someone'
+        assert not result.completions or all(
+            c.completion < kill_at for c in result.completions)
+        # lost spans carry the partial token counts (no silent truncation:
+        # nothing lost ever shows up as a completion)
+        telemetry.tracer.assert_invariants()
+        tokens = telemetry.tracer.token_counts()
+        assert tokens['complete'] + tokens['lost'] == result.num_decode_tokens
+        lost_ids = {r.req_id for r in result.lost}
+        done_ids = {c.request.req_id for c in result.completions}
+        assert not (lost_ids & done_ids)
+
+    def test_oversized_request_is_rejected_not_deadlocked(self):
+        cost = tiny_cost()
+        sim = DecodeSimulator(cost, DecodePolicy(max_width=2, max_tokens=64),
+                              kv_bytes_per_token=1, kv_capacity_bytes=32)
+        trace = [_decode_request(0, prompt=8, output=60, arrival=0.0),
+                 _decode_request(1, prompt=4, output=8, arrival=1e-4)]
+        result = sim.run(trace)
+        assert [r.req_id for r in result.rejected] == [0]
+        assert [c.request.req_id for c in result.completions] == [1]
+
+    def test_identical_runs_are_identical(self):
+        trace = decode_trace(qps=3000, num_requests=80, seed=5)
+        cost = tiny_cost()
+
+        def run():
+            sim = DecodeSimulator(cost, DecodePolicy(max_width=8,
+                                                     max_tokens=128),
+                                  num_replicas=2)
+            result = sim.run(trace)
+            return [(c.request.req_id, c.completion, c.tokens_out,
+                     c.replica) for c in result.completions]
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# satellite: property-based token conservation under arbitrary schedules
+
+
+@st.composite
+def decode_scenarios(draw):
+    """A seeded trace plus a random kill/revive/scale-up schedule."""
+    seed = draw(st.integers(0, 2**16))
+    num_requests = draw(st.integers(10, 60))
+    qps = draw(st.sampled_from([500.0, 2000.0, 10_000.0]))
+    num_replicas = draw(st.integers(1, 3))
+    trace = decode_trace(qps=qps, num_requests=num_requests, seed=seed,
+                         prompt_tokens=(2, 8), mean_output_tokens=6.0,
+                         max_output_tokens=24)
+    span = trace[-1].arrival or 1e-3
+    failures = []
+    for replica in range(draw(st.integers(0, num_replicas))):
+        at = span * draw(st.floats(0.05, 0.95))
+        revive = (at + span * draw(st.floats(0.05, 0.5))
+                  if draw(st.booleans()) else None)
+        failures.append(FailureEvent(time=at, replica=replica,
+                                     revive_at=revive))
+    joins = [span * draw(st.floats(0.05, 0.95))
+             for _ in range(draw(st.integers(0, 2)))]
+    admission = draw(st.sampled_from(['reserve', 'unbounded']))
+    capacity = draw(st.sampled_from([200, 1000, 100_000]))
+    return trace, num_replicas, failures, joins, admission, capacity
+
+
+class TestTokenConservationProperty:
+    @given(decode_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_tokens_are_conserved_under_any_schedule(self, scenario):
+        """The conservation law: every arrival terminates exactly once;
+        completions decode exactly their sampled length; every emitted
+        token is attributed to a completed or a lost span; and the span
+        ledger reconciles with the stats fold at token granularity."""
+        trace, num_replicas, failures, joins, admission, capacity = scenario
+        telemetry = Telemetry()
+        sim = DecodeSimulator(
+            tiny_cost(), DecodePolicy(max_width=8, admission=admission,
+                                      max_tokens=24),
+            kv_bytes_per_token=1, kv_capacity_bytes=capacity,
+            num_replicas=num_replicas, failures=failures, joins=joins)
+        result = sim.run(trace, telemetry=telemetry)
+        stats = result.stats(telemetry=telemetry)
+
+        # request conservation: completed + rejected + lost == offered
+        assert (len(result.completions) + len(result.rejected)
+                + len(result.lost) == len(trace))
+        # no request is both lost and completed
+        assert not ({r.req_id for r in result.lost}
+                    & {c.request.req_id for c in result.completions})
+        # completions are never truncated
+        for done in result.completions:
+            assert done.tokens_out == done.request.output_tokens
+
+        # the span ledger closes and reconciles with the fold
+        telemetry.tracer.assert_invariants()
+        counts = telemetry.tracer.terminal_counts()
+        assert counts['open'] == 0
+        assert counts['complete'] == stats.num_requests
+        assert counts['reject'] == stats.num_rejected
+        assert counts['lost'] == stats.num_lost_to_failure
+        assert sum(counts[k] for k in TERMINAL_KINDS) == len(trace)
+
+        # ... down to the token: emitted == completed-span + lost-span tokens
+        tokens = telemetry.tracer.token_counts()
+        assert tokens['open'] == 0
+        assert (tokens['complete'] + tokens['lost']
+                == stats.num_decode_tokens)
+        assert tokens['complete'] == sum(c.tokens_out
+                                         for c in result.completions)
+
+    @given(decode_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_reserve_kv_never_exceeds_capacity_at_any_instant(self, scenario):
+        """The KV invariant, at every simulated instant: under reserve
+        admission the committed bytes of every lane stay within capacity
+        through joins, EOS churn, failures, and mid-trace scale-up."""
+        trace, num_replicas, failures, joins, _, capacity = scenario
+        sim = DecodeSimulator(
+            tiny_cost(), DecodePolicy(max_width=8, admission='reserve',
+                                      max_tokens=24),
+            kv_bytes_per_token=1, kv_capacity_bytes=capacity,
+            num_replicas=num_replicas, failures=failures, joins=joins,
+            record_kv_trail=True)
+        result = sim.run(trace)
+        assert result.kv_overflow_steps == 0
+        for lane in sim.lanes:
+            assert lane.ledger.trail is not None
+            for now, committed in lane.ledger.trail:
+                assert committed <= capacity, (
+                    f'lane {lane.index} committed {committed} > capacity '
+                    f'{capacity} at t={now}')
+            assert lane.ledger.peak_committed_bytes <= capacity
+
+
+# ---------------------------------------------------------------------------
+# satellite: seeded determinism of the bench record and trace export
+
+
+@pytest.fixture()
+def bench_serving_module():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_serving
+        yield bench_serving
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+class TestDecodeByteDeterminism:
+    def test_record_and_chrome_trace_are_byte_identical(
+            self, bench_serving_module, tmp_path):
+        """Identical seed + spec must reproduce the decode bench record and
+        the Chrome trace export byte for byte — the PR 7/8 byte-stability
+        discipline extended to the decode path."""
+        paths = []
+        for tag in ('a', 'b'):
+            bench = tmp_path / f'bench_{tag}.json'
+            trace = tmp_path / f'trace_{tag}.json'
+            bench_serving_module.decode_smoke(bench_out=str(bench),
+                                              trace_out=str(trace))
+            paths.append((bench, trace))
+        (bench_a, trace_a), (bench_b, trace_b) = paths
+        assert bench_a.read_bytes() == bench_b.read_bytes()
+        assert trace_a.read_bytes() == trace_b.read_bytes()
+        # and the record actually carries the decode story
+        doc = json.loads(bench_a.read_text())
+        names = set(doc['metrics'])
+        assert 'decode.throughput_gain' in names
+        assert 'decode.reserve_kv_overflow_steps' in names
+        assert all(n.startswith('decode.') for n in names)

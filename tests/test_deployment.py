@@ -18,7 +18,8 @@ import pytest
 
 from repro.gpusim.device import DeviceSpec, LAPTOP_GPU, RTX3090
 from repro.serve import (AutoscaleSpec, BatchingPolicy, BatchingSpec,
-                         CacheSpec, Deployment, DeploymentSpec, FailureSpec,
+                         CacheSpec, DecodeSpec, Deployment, DeploymentSpec,
+                         FailureSpec,
                          FleetSimulator, ModelSpec, PlacementPolicy,
                          PlacementSpec, ReplicaGroupSpec, ServerSimulator,
                          SpecValidationError, format_fleet_report,
@@ -91,6 +92,26 @@ class TestRoundTrip:
     def test_failure_event_mappings_are_coerced(self):
         spec = FailureSpec(events=({'time': 0.1, 'replica': 1},))
         assert spec.events == (FailureEvent(time=0.1, replica=1),)
+
+    def test_decode_node_round_trips_and_coerces_mappings(self):
+        decode = DecodeSpec(kv_bytes_per_token=73728, max_tokens=64,
+                            max_width=4, admission='unbounded',
+                            kv_capacity_bytes=16 << 20, seq_length=32)
+        spec = tiny_spec(models=(
+            ModelSpec('bert', max_batch=2, buckets=(1, 2), config=TINY_BERT),
+            ModelSpec('gpt2', max_batch=2, buckets=(1, 2), config=TINY_GPT2,
+                      decode=decode)))
+        restored = DeploymentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.models[1].decode == decode
+        assert spec.validate() is spec
+        # JSON hands the node back as a mapping; ModelSpec coerces it
+        as_mapping = ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                               decode={'kv_bytes_per_token': 64})
+        assert as_mapping.decode == DecodeSpec(kv_bytes_per_token=64)
+        # an unknown decode key names the field instead of leaking TypeError
+        with pytest.raises(SpecValidationError, match='decode'):
+            ModelSpec('gpt2', decode={'kv_bytes_per_tok': 64})
 
     def test_round_tripped_spec_reproduces_identical_fleet_result(self):
         """The acceptance claim: spec → JSON → spec → run is byte-identical
@@ -215,6 +236,32 @@ class TestValidation:
         (dict(autoscale=AutoscaleSpec(max_replicas=4, interval='0.05')),
          'autoscale.interval'),
         (dict(cache=CacheSpec(warm_from=3)), 'cache.warm_from'),
+        # the decode node: every rejection names its dotted field path
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(kv_bytes_per_token=0)),)),
+         'models[0].decode.kv_bytes_per_token'),
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(kv_bytes_per_token=64,
+                                                  max_tokens=0)),)),
+         'models[0].decode.max_tokens'),
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(kv_bytes_per_token=64,
+                                                  admission='hopeful')),)),
+         'models[0].decode.admission'),
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(
+                                    kv_bytes_per_token=64, max_tokens=16,
+                                    kv_capacity_bytes=512)),)),
+         'models[0].decode.kv_capacity_bytes'),
+        # wrong-typed JSON scalars in the decode node name the field too
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(
+                                    kv_bytes_per_token='64')),)),
+         'models[0].decode.kv_bytes_per_token'),
+        (dict(models=(ModelSpec('gpt2', max_batch=2, buckets=(1, 2),
+                                decode=DecodeSpec(kv_bytes_per_token=64,
+                                                  max_width=True)),)),
+         'models[0].decode.max_width'),
     ])
     def test_each_error_path_names_the_offending_field(self, overrides, field):
         with pytest.raises(SpecValidationError) as excinfo:

@@ -214,6 +214,52 @@ class TestReconciliation:
 
 
 # ---------------------------------------------------------------------------
+# decode: the reconciliation extends to token granularity
+
+
+class TestTokenReconciliation:
+    @pytest.fixture(scope='class')
+    def decode_run(self):
+        """One continuous-batching decode run with telemetry."""
+        from repro.gpusim import DecodeCostModel
+        from repro.serve import DecodePolicy, DecodeSimulator, decode_trace
+        cost = DecodeCostModel(device=RTX3090, seq_length=16,
+                               bucket_latency={1: 1e-4, 4: 1.6e-4},
+                               weights_bytes=1_000_000)
+        trace_ = decode_trace(qps=3000, num_requests=150, seed=2,
+                              prompt_tokens=(2, 8), mean_output_tokens=6.0,
+                              max_output_tokens=24)
+        telemetry = Telemetry()
+        sim = DecodeSimulator(cost, DecodePolicy(max_width=4, max_tokens=24))
+        result = sim.run(trace_, telemetry=telemetry)
+        return telemetry, result.stats(telemetry=telemetry)
+
+    def test_span_tokens_match_stats(self, decode_run):
+        telemetry, stats = decode_run
+        telemetry.tracer.assert_invariants()
+        tokens = telemetry.tracer.token_counts()
+        assert tokens['open'] == 0 and tokens['reject'] == 0
+        # every generated token is attributed to exactly one terminal span
+        assert tokens['complete'] + tokens['lost'] == stats.num_decode_tokens
+        assert stats.tokens_per_second > 0
+
+    def test_live_token_counter_agrees_with_fold(self, decode_run):
+        telemetry, stats = decode_run
+        live = telemetry.metrics
+        assert (live.counter('sim.tokens.generated').value
+                == stats.num_decode_tokens)
+        assert (live.counter('sim.decode.steps').value
+                == stats.num_decode_steps)
+
+    def test_chrome_export_carries_token_args(self, decode_run):
+        telemetry, stats = decode_run
+        doc = telemetry.chrome_trace()
+        ends = [e for e in doc['traceEvents'] if e['ph'] == 'e']
+        assert (sum(e['args'].get('tokens_out', 0) for e in ends)
+                == stats.num_decode_tokens)
+
+
+# ---------------------------------------------------------------------------
 # fleet: failures show up as spans, the ledger still balances
 
 
