@@ -10,10 +10,11 @@ import argparse
 import pathlib
 
 from common import wall_clock, write_bench, write_result
-from repro.experiments import (format_cache_reuse,
+from repro.experiments import (format_analysis_gate, format_cache_reuse,
                                format_cost_model_trajectory,
                                format_parallel_tuning, format_tuning_cost,
-                               run_cache_reuse, run_cost_model_trajectory,
+                               run_analysis_gate, run_cache_reuse,
+                               run_cost_model_trajectory,
                                run_parallel_tuning, run_tuning_cost)
 from repro.experiments.tuning_cost import speedups
 from repro.obs import BenchResult
@@ -26,7 +27,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SERVICE_SMOKE_MODELS = ['bert', 'gpt2', 'mobilenet_v2']
 
 
-def _tuning_bench(hours, reuse, trajectory, service,
+def _tuning_bench(hours, reuse, trajectory, service, gate,
                   wall_seconds: float) -> BenchResult:
     """Fold the smoke run into the machine-readable tuning record.
 
@@ -61,6 +62,13 @@ def _tuning_bench(hours, reuse, trajectory, service,
     result.add('tuning.parallel_cache_identical',
                1.0 if service.logs_identical else 0.0, direction='higher',
                noise=0.0)
+    # the static-analysis candidate screen (info: counts, never a gate)
+    result.add('tuning.analysis.checked', float(gate.checked), unit='count',
+               direction='info')
+    result.add('tuning.analysis.rejected', float(gate.rejected), unit='count',
+               direction='info')
+    result.add('tuning.analysis.chosen_unchanged',
+               1.0 if gate.choice_unchanged else 0.0, direction='info')
     result.add('harness_wall_seconds', wall_seconds, unit='s',
                direction='info')
     return result
@@ -89,13 +97,16 @@ def smoke(bench_out: str = None, _wall_override: float = None) -> str:
         assert service.speedup >= 3.0, service
         assert service.logs_identical, service
         assert service.warm_rerun_wall_seconds == 0.0, service
+        gate = run_analysis_gate()
+        assert gate.rejected > 0 and gate.choice_unchanged, gate
     wall = wc.seconds if _wall_override is None else _wall_override
     path = write_bench(_tuning_bench(hours, reuse_rows[0], trajectory,
-                                     service, wall), bench_out)
+                                     service, gate, wall), bench_out)
     return (format_tuning_cost(cost_rows) + '\n\n'
             + format_cache_reuse(reuse_rows) + '\n\n'
             + format_cost_model_trajectory(trajectory) + '\n\n'
-            + format_parallel_tuning(service) + f'\nbench json -> {path}')
+            + format_parallel_tuning(service) + '\n\n'
+            + format_analysis_gate(gate) + f'\nbench json -> {path}')
 
 
 def bench_fig17_tuning_cost(benchmark):

@@ -1,0 +1,83 @@
+"""Findings, reports, and the gate exception for the static analyzer."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: finding severities: ``error`` gates compilation, ``note`` is advisory
+#: (e.g. a data-dependent gather index the analyzer cannot bound)
+SEVERITIES = ('error', 'note')
+
+#: the analyzer's check names, also used as counter keys
+CHECKS = ('verify', 'bounds', 'coverage', 'race')
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer diagnostic, always naming the kernel it came from."""
+
+    check: str                      # one of CHECKS
+    severity: str                   # one of SEVERITIES
+    kernel: str                     # function name
+    message: str                    # human-readable diagnostic
+    buffer: Optional[str] = None    # buffer/tensor the finding is about
+    detail: Optional[str] = None    # e.g. offending task tuple, phase index
+
+    def __post_init__(self):
+        assert self.check in CHECKS, self.check
+        assert self.severity in SEVERITIES, self.severity
+
+    def __str__(self):
+        where = f' [{self.buffer}]' if self.buffer else ''
+        extra = f' ({self.detail})' if self.detail else ''
+        return (f'{self.severity}: {self.check}: {self.kernel}{where}: '
+                f'{self.message}{extra}')
+
+
+@dataclass
+class AnalysisReport:
+    """All findings from analyzing one function or module."""
+
+    findings: List[Finding] = field(default_factory=list)
+    kernels: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding):
+        self.findings.append(finding)
+
+    def extend(self, other: 'AnalysisReport'):
+        self.findings.extend(other.findings)
+        self.kernels.extend(other.kernels)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == 'error']
+
+    @property
+    def notes(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == 'note']
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> dict:
+        """``{check: error count}`` — the per-check gate counters."""
+        out = {check: 0 for check in CHECKS}
+        for f in self.errors:
+            out[f.check] += 1
+        return out
+
+    def summary(self) -> str:
+        status = 'ok' if self.ok else 'FAIL'
+        head = (f'analysis {status}: {len(self.kernels)} kernel(s), '
+                f'{len(self.errors)} error(s), {len(self.notes)} note(s)')
+        lines = [head] + [f'  {f}' for f in self.findings]
+        return '\n'.join(lines)
+
+
+class AnalysisError(Exception):
+    """Raised by the compile gate when a kernel fails static analysis."""
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        super().__init__(report.summary())

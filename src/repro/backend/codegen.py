@@ -76,7 +76,12 @@ class CudaCodegen:
             return f'({text})' if prec < parent_prec else text
         if isinstance(e, UnaryExpr):
             if e.op == '-':
-                return f'-{self.expr(e.a, 7)}'
+                inner = self.expr(e.a, 7)
+                if inner.startswith('-'):
+                    # '--x' is C predecrement, '--5' a syntax error: a
+                    # negated operand must keep its own parentheses
+                    return f'-({inner})'
+                return f'-{inner}'
             if e.op == '!':
                 return f'!{self.expr(e.a, 7)}'
             if e.op == 'sigmoid':

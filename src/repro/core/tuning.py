@@ -58,6 +58,9 @@ class TuningResult:
     #: 'underfit: ...' when the model was not ready, 'miscalibrated: ...'
     #: when the gate escalated to full measurement after the top-k
     fallback_reason: Optional[str] = None
+    #: candidates the static analyzer rejected before measurement (0 unless
+    #: ``tune(analyzer=...)`` was given a candidate filter)
+    analysis_rejected: int = 0
 
     @property
     def best_latency_ms(self) -> float:
@@ -86,6 +89,10 @@ class MatmulTuner:
         #: problems where the cost-model shortcut fell back to full
         #: measurement (underfit model or failed calibration gate)
         self.fallback_tasks = 0
+        #: candidates screened by a static analyzer before measurement, and
+        #: how many of those were rejected as unsafe
+        self.analysis_checked = 0
+        self.analysis_rejected = 0
 
     def measure(self, m: int, n: int, k: int, sched: MatmulSchedule,
                 extra_read_bytes: float = 0.0, extra_write_bytes: float = 0.0,
@@ -125,7 +132,8 @@ class MatmulTuner:
              extra_write_bytes: float = 0.0,
              batch: int = 1,
              precompiled: bool = False,
-             cost_model=None) -> TuningResult:
+             cost_model=None,
+             analyzer=None) -> TuningResult:
         """Find the best schedule for an ``m×n×k`` problem.
 
         By default the candidate set (base space × split-k variants) is
@@ -157,6 +165,16 @@ class MatmulTuner:
         (``fallback_reason='miscalibrated: ...'``), so the chosen schedule
         is then the exhaustive optimum.
 
+        ``analyzer`` (duck-typed; see
+        :class:`repro.analysis.ScheduleAnalyzer`) screens every enumerated
+        candidate *before* measurement: ``analyzer.reject(m, n, k, sched,
+        batch)`` returns a diagnostic for statically unsafe schedules (out
+        of bounds, coverage holes, shared-memory races), which are dropped
+        from the candidate set without charging compile or measure time.
+        The screen never changes the winner on a healthy space — a rejected
+        candidate would have been memory-unsafe on real hardware, so it was
+        never a legitimate optimum.
+
         Split-k (paper §6.3.4) is only enumerated for un-batched problems:
         splitting the reduction exists to manufacture extra thread blocks
         when the ``m×n`` output grid alone cannot saturate the SMs, but a
@@ -181,7 +199,8 @@ class MatmulTuner:
         # necessarily the exhaustive optimum.
         key = (m, n, k, batch, None if space is None else tuple(space),
                try_split_k, round(extra_read_bytes), round(extra_write_bytes),
-               cost_model is not None)
+               cost_model is not None,
+               None if analyzer is None else id(analyzer))
         if key in self._cache:
             return replace(self._cache[key], tuning_seconds=0.0,
                            num_measured=0,
@@ -191,6 +210,24 @@ class MatmulTuner:
         start = self.clock.elapsed_seconds
         cands = self.candidates(m, n, k, space=space,
                                 try_split_k=try_split_k, batch=batch)
+        analysis_rejected = 0
+        if analyzer is not None:
+            kept = []
+            reasons = []
+            for sched in cands:
+                reason = analyzer.reject(m, n, k, sched, batch=batch)
+                if reason is None:
+                    kept.append(sched)
+                else:
+                    reasons.append((sched, reason))
+            self.analysis_checked += len(cands)
+            analysis_rejected = len(reasons)
+            self.analysis_rejected += analysis_rejected
+            if not kept:
+                raise RuntimeError(
+                    f'matmul {m}x{n}x{k}: the static analyzer rejected every '
+                    f'candidate, e.g. {reasons[0][1]}')
+            cands = kept
         num_candidates = len(cands)
 
         def measure_into(latencies, schedules):
@@ -258,6 +295,7 @@ class MatmulTuner:
             num_measured=num_measured,
             used_cost_model=used_cost_model,
             fallback_reason=fallback_reason,
+            analysis_rejected=analysis_rejected,
         )
         self._cache[key] = result
         return result

@@ -13,6 +13,7 @@
 | ablations          | extra ablation studies |
 | serving            | serving simulation (PR 2, beyond the paper) |
 | fleet              | multi-replica fleet: placement, cross-device warm-up, SLO sizing (PR 3) |
+| analysis_gate      | static-analysis candidate screening in the tuner (beyond the paper) |
 
 Table 1 is demonstrated by ``repro.baselines.loop_sched`` and its benchmark.
 """
@@ -29,6 +30,7 @@ from .input_sensitivity import run_input_sensitivity, format_input_sensitivity
 from .batch_sizes import run_batch_sizes, format_batch_sizes
 from .conv_bn_relu import run_conv_bn_relu, format_conv_bn_relu
 from .tensorrt_cmp import run_tensorrt_cmp, format_tensorrt_cmp
+from .analysis_gate import run_analysis_gate, format_analysis_gate
 from .serving import (run_serving, format_serving, run_qps_sweep,
                       format_qps_sweep)
 from .fleet import (run_placement_comparison, format_placement,
@@ -49,6 +51,7 @@ __all__ = [
     'run_batch_sizes', 'format_batch_sizes',
     'run_conv_bn_relu', 'format_conv_bn_relu',
     'run_tensorrt_cmp', 'format_tensorrt_cmp',
+    'run_analysis_gate', 'format_analysis_gate',
     'run_serving', 'format_serving', 'run_qps_sweep', 'format_qps_sweep',
     'run_placement_comparison', 'format_placement',
     'run_device_transfer', 'format_device_transfer',

@@ -27,6 +27,7 @@
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
@@ -106,7 +107,9 @@ class HidetExecutor:
                  enable_transfer: bool = False,
                  enable_device_transfer: bool = False,
                  cost_model=None,
-                 record_measurements: Optional[bool] = None):
+                 record_measurements: Optional[bool] = None,
+                 check_ir: Optional[bool] = None,
+                 candidate_analyzer=None):
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
         self.space = space if space is not None else matmul_schedule_space(
@@ -169,6 +172,22 @@ class HidetExecutor:
         if record_measurements is None:
             record_measurements = cost_model is not None
         self.record_measurements = bool(record_measurements)
+        #: static-analysis compile gate (repro.analysis): every IR module
+        #: built through build_ir is verified (well-formedness) and analyzed
+        #: (bounds / coverage / races) before it is cached; errors raise
+        #: AnalysisError.  Defaults to on; REPRO_SKIP_IR_CHECKS=1 (or
+        #: check_ir=False) is the escape hatch for speed-sensitive runs.
+        if check_ir is None:
+            check_ir = os.environ.get('REPRO_SKIP_IR_CHECKS', '') not in (
+                '1', 'true', 'yes')
+        self.check_ir = bool(check_ir)
+        #: optional pre-measurement candidate filter (duck-typed:
+        #: ``reject(m, n, k, sched, batch) -> Optional[str]``, see
+        #: :class:`repro.analysis.ScheduleAnalyzer`): statically unsafe
+        #: schedules are dropped from the tuning space before any
+        #: measurement is charged.  Opt-in — instantiating the template for
+        #: every candidate costs more than the simulated measurement does.
+        self.candidate_analyzer = candidate_analyzer
 
     # ------------------------------------------------------------------
 
@@ -184,6 +203,8 @@ class HidetExecutor:
         tuned0 = self.tuner.tasks_tuned
         ranked0 = self.tuner.ranked_tasks
         fallbacks0 = self.tuner.fallback_tasks
+        checked0 = self.tuner.analysis_checked
+        rejected0 = self.tuner.analysis_rejected
         self._namespace = namespace
         try:
             optimized = fold_constants(lower_conv_to_gemm(fold_constants(graph)))
@@ -210,7 +231,10 @@ class HidetExecutor:
                 tuned_tasks=self.tuner.tasks_tuned - tuned0,
                 ranked_tasks=self.tuner.ranked_tasks - ranked0,
                 cost_model_fallbacks=(self.tuner.fallback_tasks
-                                      - fallbacks0)),
+                                      - fallbacks0),
+                analysis_checked=self.tuner.analysis_checked - checked0,
+                analysis_rejected=(self.tuner.analysis_rejected
+                                   - rejected0)),
             name=name or f'hidet_{graph.name}',
         )
 
@@ -443,7 +467,8 @@ class HidetExecutor:
                                      extra_read_bytes=p.extra_read_bytes,
                                      extra_write_bytes=p.extra_write_bytes,
                                      batch=p.batch, precompiled=precompiled,
-                                     cost_model=self.cost_model)
+                                     cost_model=self.cost_model,
+                                     analyzer=self.candidate_analyzer)
         for cand, latency in (result.latencies.items()
                               if self.record_measurements else ()):
             self.cache.record_measurement(MeasurementRecord(
@@ -485,10 +510,23 @@ class HidetExecutor:
             schedule=sched, num_kernels=len(stats))
 
     def _cached_ir(self, signature: str, group_name: str, build):
-        """Memoize built IR modules by (signature, group name)."""
+        """Memoize built IR modules by (signature, group name).
+
+        When :attr:`check_ir` is on (the default), every freshly built
+        module passes the static-analysis gate before it enters the cache:
+        ``verify_function`` well-formedness plus bounds / coverage / race
+        analysis.  A gate failure raises
+        :class:`repro.analysis.AnalysisError` naming the kernel and check.
+        """
         key = (signature, group_name)
         if key not in self._ir_cache:
-            self._ir_cache[key] = build()
+            module = build()
+            if self.check_ir:
+                from ..analysis import AnalysisError, analyze_module
+                report = analyze_module(module)
+                if not report.ok:
+                    raise AnalysisError(report)
+            self._ir_cache[key] = module
         return self._ir_cache[key]
 
     def _build_fused_matmul_ir(self, group: FusedGroup, spec: GroupSpec,

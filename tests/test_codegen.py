@@ -108,3 +108,73 @@ class TestMatmulKernels:
         gen = CudaCodegen()
         with pytest.raises(NotImplementedError):
             gen.func(fb.finish())
+
+
+class TestExpressionPrecedence:
+    """The emitted C must evaluate exactly like the IR tree it came from.
+
+    Random trees over +, -, *, //, % and unary minus are printed and then
+    re-evaluated as Python (C's ``/`` on nonnegative ints is Python's
+    ``//``); any parenthesization bug in ``_PRECEDENCE`` changes the value.
+    Valuations are filtered so every division/modulo sees a nonnegative
+    dividend and positive divisor — where C and Python semantics agree.
+    """
+
+    def _random_tree(self, rng, env, depth):
+        import repro.ir.expr as ir
+        if depth == 0 or rng.random() < 0.3:
+            if rng.random() < 0.5 and env:
+                name = rng.choice(sorted(env))
+                return ir.Var(name, ir.i32), env[name]
+            value = int(rng.integers(0, 9))
+            return ir.Constant(value, ir.i32), value
+        op = rng.choice(['+', '-', '*', '//', '%', 'neg'])
+        if op == 'neg':
+            a, va = self._random_tree(rng, env, depth - 1)
+            return ir.UnaryExpr('-', a), -va
+        a, va = self._random_tree(rng, env, depth - 1)
+        b, vb = self._random_tree(rng, env, depth - 1)
+        if op in ('//', '%') and (va < 0 or vb <= 0):
+            raise ValueError('C/Python division semantics diverge')
+        ops = {'+': lambda: va + vb, '-': lambda: va - vb, '*': lambda: va * vb,
+               '//': lambda: va // vb, '%': lambda: va % vb}
+        value = ops[op]()
+        return ir.BinaryExpr(op, a, b), value
+
+    def test_roundtrip_random_trees(self):
+        from repro.backend.codegen import CudaCodegen
+        rng = np.random.default_rng(20260808)
+        env = {'x': 3, 'y': 7, 'z': 2}
+        gen = CudaCodegen()
+        checked = 0
+        while checked < 300:
+            try:
+                tree, expected = self._random_tree(rng, env, depth=4)
+            except ValueError:
+                continue
+            text = gen.expr(tree)
+            # C's '/' truncates but every division here is nonnegative, so
+            # Python's floor division computes the same value
+            got = eval(text.replace('/', '//'), dict(env))
+            assert got == expected, (
+                f'{text!r} printed from the IR evaluates to {got}, '
+                f'expected {expected}')
+            checked += 1
+
+    def test_double_unary_minus_is_not_predecrement(self):
+        import repro.ir.expr as ir
+        from repro.backend.codegen import CudaCodegen
+        gen = CudaCodegen()
+        x = ir.Var('x', ir.i32)
+        assert '--' not in gen.expr(ir.UnaryExpr('-', ir.UnaryExpr('-', x)))
+        assert '--' not in gen.expr(ir.UnaryExpr('-', ir.Constant(-5, ir.i32)))
+        assert eval(gen.expr(ir.UnaryExpr('-', ir.Constant(-5, ir.i32)))) == 5
+
+    def test_mod_of_product_keeps_parens(self):
+        """a % (b * c) must not print as a % b * c (which is (a%b)*c)."""
+        import repro.ir.expr as ir
+        from repro.backend.codegen import CudaCodegen
+        gen = CudaCodegen()
+        a, b, c = (ir.Var(n, ir.i32) for n in 'abc')
+        text = gen.expr(ir.BinaryExpr('%', a, ir.BinaryExpr('*', b, c)))
+        assert eval(text.replace('/', '//'), {'a': 7, 'b': 2, 'c': 3}) == 7 % 6

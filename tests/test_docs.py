@@ -18,12 +18,13 @@ import pytest
 DOCS = pathlib.Path(__file__).resolve().parent.parent / 'docs'
 
 REQUIRED_PAGES = ('architecture.md', 'serving.md', 'cache.md', 'fleet.md',
-                  'deployment.md', 'observability.md', 'tuning.md')
+                  'deployment.md', 'observability.md', 'tuning.md',
+                  'analysis.md')
 
 #: pages whose ``python`` blocks form an executable tutorial (run in order,
 #: one shared namespace per page)
 TUTORIAL_PAGES = ('serving.md', 'fleet.md', 'deployment.md',
-                  'observability.md', 'tuning.md')
+                  'observability.md', 'tuning.md', 'analysis.md')
 
 
 def python_blocks(text: str) -> list[str]:
@@ -108,6 +109,13 @@ def test_tuning_doc_snippets_run(capsys):
     """Execute every python block of docs/tuning.md, in order."""
     count = run_page_blocks('tuning.md', {})
     assert count >= 5, 'the tuning tutorial lost its code blocks'
+    capsys.readouterr()
+
+
+def test_analysis_doc_snippets_run(capsys):
+    """Execute every python block of docs/analysis.md, in order."""
+    count = run_page_blocks('analysis.md', {})
+    assert count >= 5, 'the analysis tutorial lost its code blocks'
     capsys.readouterr()
 
 

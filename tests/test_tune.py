@@ -205,7 +205,8 @@ class TestBenchRecordDeterminism:
         try:
             bench = importlib.import_module('bench_fig17_tuning_cost')
             common = importlib.import_module('common')
-            from repro.experiments import (run_cost_model_trajectory,
+            from repro.experiments import (run_analysis_gate,
+                                           run_cost_model_trajectory,
                                            run_parallel_tuning)
             from repro.experiments.tuning_cost import CacheReuseRow
             hours = {'hidet': 0.25, 'autotvm': 5.0, 'ansor': 2.5}
@@ -220,8 +221,10 @@ class TestBenchRecordDeterminism:
                     seed_problems=DEFAULT_SEED_PROBLEMS[:6])
                 service = run_parallel_tuning(models=['gpt2'],
                                               num_workers=2)
+                gate = run_analysis_gate()
                 record = bench._tuning_bench(hours, reuse, trajectory,
-                                             service, wall_seconds=0.0)
+                                             service, gate,
+                                             wall_seconds=0.0)
                 path = common.write_bench(record,
                                           str(tmp_path / f'{tag}.json'))
                 return pathlib.Path(path).read_bytes()
